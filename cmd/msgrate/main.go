@@ -1,0 +1,59 @@
+// Command msgrate regenerates Figure 8: the single-process message-rate
+// ping-pong benchmark across the five configurations — Optimistic-DPA in
+// the no-conflict (NC), with-conflict fast-path (WC-FP), and with-conflict
+// slow-path (WC-SP) settings, plus the MPI-CPU and RDMA-CPU baselines.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		k       = flag.Int("k", 100, "messages per sequence (paper: 100)")
+		reps    = flag.Int("reps", 500, "sequence repetitions (paper: 500)")
+		payload = flag.Int("payload", 8, "eager payload bytes")
+		threads = flag.Int("threads", 32, "DPA threads (paper: 32)")
+		modeled = flag.Bool("modeled", false, "report cost-model rates (core-count independent) instead of wall clock")
+	)
+	flag.Parse()
+
+	if *modeled {
+		cm := bench.DefaultCostModel()
+		cm.Threads = *threads
+		fmt.Printf("Figure 8 (modeled) — pipeline-bottleneck rates from counted engine work, %d DPA threads\n\n", *threads)
+		rates, err := bench.RunModeledFigure8(cm, *k, min(*reps, 50))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "msgrate: %v\n", err)
+			os.Exit(1)
+		}
+		for _, r := range rates {
+			fmt.Println(r)
+		}
+		return
+	}
+
+	fmt.Printf("Figure 8 — message rate: k=%d, reps=%d, payload=%dB, %d DPA threads\n\n",
+		*k, *reps, *payload, *threads)
+
+	for _, cfg := range bench.Figure8Scenarios() {
+		cfg.K = *k
+		cfg.Reps = *reps
+		cfg.PayloadBytes = *payload
+		cfg.Threads = *threads
+		res, err := bench.RunMsgRate(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "msgrate: %s: %v\n", cfg.Label, err)
+			os.Exit(1)
+		}
+		fmt.Println(res)
+		if st := res.MatchStats; st.Messages > 0 {
+			fmt.Printf("%-22s %12s blocks=%d optimistic=%d conflicts=%d fast=%d slow=%d unexpected=%d\n",
+				"", "", st.Blocks, st.Optimistic, st.Conflicts, st.FastPath, st.SlowPath, st.Unexpected)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+// Gatherv: the many-to-one pattern the paper's introduction singles out as
+// a matching-misery trigger (e.g. MPI_Gatherv): every worker floods the
+// root with differently-sized chunks before the root posts any receives,
+// so hundreds of messages pile up in the unexpected store. The root then
+// collects them with wildcard-source receives. The example runs the same
+// workload on the traditional host matcher and on the offloaded optimistic
+// matcher and prints the search-depth statistics side by side — the
+// Figure 7 effect, live.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"repro/internal/match"
+	"repro/internal/mpi"
+)
+
+const (
+	ranks  = 16
+	rounds = 20
+)
+
+func main() {
+	type outcome struct {
+		label string
+		stats match.Stats
+	}
+	var outcomes []outcome
+
+	for _, kind := range []mpi.EngineKind{mpi.EngineHost, mpi.EngineOffload} {
+		world, err := mpi.NewWorld(ranks, mpi.Options{Engine: kind, RecvDepth: 1024})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Workers fire everything up front: all chunks land unexpected.
+		var wg sync.WaitGroup
+		errs := make([]error, ranks)
+		for r := 1; r < ranks; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				c := world.Proc(r).World()
+				for round := 0; round < rounds; round++ {
+					chunk := make([]byte, 16+r*8) // per-rank sizes, as Gatherv
+					for i := range chunk {
+						chunk[i] = byte(r)
+					}
+					if err := c.Send(0, round, chunk); err != nil {
+						errs[r] = err
+						return
+					}
+				}
+			}(r)
+		}
+		wg.Wait()
+		for r := 1; r < ranks; r++ {
+			if errs[r] != nil {
+				log.Fatalf("rank %d: %v", r, errs[r])
+			}
+		}
+
+		// Wait until the root's matcher has absorbed the flood, so every
+		// receive searches a full unexpected store.
+		const expect = (ranks - 1) * rounds
+		for unexpectedCount(world.Proc(0)) < expect {
+			time.Sleep(time.Millisecond)
+		}
+
+		root := world.Proc(0).World()
+		got := make([]int, ranks)
+		buf := make([]byte, 16+ranks*8)
+		for round := 0; round < rounds; round++ {
+			for i := 1; i < ranks; i++ {
+				st, err := root.Recv(mpi.AnySource, round, buf)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if buf[0] != byte(st.Source) {
+					log.Fatalf("round %d: chunk from %d carries %d", round, st.Source, buf[0])
+				}
+				got[st.Source]++
+			}
+		}
+		for r := 1; r < ranks; r++ {
+			if got[r] != rounds {
+				log.Fatalf("root received %d chunks from rank %d, want %d", got[r], r, rounds)
+			}
+		}
+
+		switch kind {
+		case mpi.EngineHost:
+			outcomes = append(outcomes, outcome{"host list matcher", world.Proc(0).HostStats()})
+		case mpi.EngineOffload:
+			outcomes = append(outcomes, outcome{"offloaded optimistic", world.Proc(0).Matcher().DepthStats()})
+		}
+		world.Close()
+	}
+
+	fmt.Printf("gatherv: %d workers x %d rounds flooded into rank 0, then wildcard receives\n\n",
+		ranks-1, rounds)
+	fmt.Printf("%-22s %16s %16s\n", "root matcher", "avg UMQ search", "max UMQ search")
+	for _, o := range outcomes {
+		fmt.Printf("%-22s %16.2f %16d\n", o.label, o.stats.AvgPostDepth(), o.stats.PostMaxDepth)
+	}
+	fmt.Println("\nThe quadruply-indexed unexpected store keeps the offloaded engine's")
+	fmt.Println("searches shallow while the list matcher walks the flood linearly —")
+	fmt.Println("the paper's Figure 7 effect on the UMQ side.")
+}
+
+// unexpectedCount reads the root's unexpected-store depth on either engine.
+func unexpectedCount(p *mpi.Proc) int {
+	if m := p.Matcher(); m != nil {
+		return m.UnexpectedDepth()
+	}
+	return int(p.HostStats().Unexpected)
+}

@@ -1,0 +1,87 @@
+// Quickstart: a two-rank world with DPA-offloaded optimistic tag matching.
+// Rank 0 sends a handful of tagged messages; rank 1 receives them — one
+// pre-posted, one unexpected, one by wildcard — and prints the matching
+// statistics the offloaded engine gathered along the way.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/mpi"
+)
+
+func main() {
+	// A world is a set of in-process ranks connected by a simulated RDMA
+	// fabric. EngineOffload runs optimistic tag matching on a simulated
+	// BlueField-3 Data Path Accelerator; swap in EngineHost for the
+	// traditional on-CPU linked-list matcher — the API is identical.
+	world, err := mpi.NewWorld(2, mpi.Options{Engine: mpi.EngineOffload})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer world.Close()
+
+	sender := world.Proc(0).World()
+	receiver := world.Proc(1).World()
+
+	// Pre-posted receive: the receive is indexed before the message lands.
+	buf := make([]byte, 32)
+	req, err := receiver.Irecv(0, 1, buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sender.Send(1, 1, []byte("pre-posted")); err != nil {
+		log.Fatal(err)
+	}
+	st, err := req.Wait()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pre-posted:  %q from rank %d, tag %d\n", buf[:st.Count], st.Source, st.Tag)
+
+	// Unexpected message: the send happens first, so the message waits in
+	// the unexpected store (indexed in all four structures) until the
+	// receive is posted.
+	if err := sender.Send(1, 2, []byte("unexpected")); err != nil {
+		log.Fatal(err)
+	}
+	st, err = receiver.Recv(0, 2, buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("unexpected:  %q from rank %d, tag %d\n", buf[:st.Count], st.Source, st.Tag)
+
+	// Wildcard receive: AnySource/AnyTag receives live in their own index.
+	if err := sender.Send(1, 42, []byte("wildcard")); err != nil {
+		log.Fatal(err)
+	}
+	st, err = receiver.Recv(mpi.AnySource, mpi.AnyTag, buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wildcard:    %q from rank %d, tag %d\n", buf[:st.Count], st.Source, st.Tag)
+
+	// Large message: the rendezvous protocol sends a ready-to-send header;
+	// after matching, the receiver pulls the payload with an RDMA read.
+	big := make([]byte, 64*1024)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	done := make(chan error, 1)
+	go func() { done <- sender.Send(1, 3, big) }()
+	bigBuf := make([]byte, len(big))
+	st, err = receiver.Recv(0, 3, bigBuf)
+	if err != nil || <-done != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rendezvous:  %d bytes via RDMA read\n", st.Count)
+
+	// The engine's statistics show how the messages were matched.
+	ms := world.Proc(1).Matcher().Stats()
+	fmt.Printf("\nDPA matcher: %d messages in %d blocks; %d optimistic, %d conflicts, %d unexpected\n",
+		ms.Messages, ms.Blocks, ms.Optimistic, ms.Conflicts, ms.Unexpected)
+	fp := world.Proc(1).Matcher().ModelFootprint()
+	fmt.Printf("DPA memory model: %.1f KiB tables + %.1f KiB descriptors\n",
+		float64(fp.BinBytes)/1024, float64(fp.DescriptorBytes)/1024)
+}

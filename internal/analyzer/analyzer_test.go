@@ -1,0 +1,236 @@
+package analyzer
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/tracegen"
+)
+
+// twoRankTrace builds a minimal trace: rank 1 posts n receives from rank 0
+// with the given tags, then rank 0 sends n messages matching them in order.
+func twoRankTrace(tags []int32) *trace.Trace {
+	t := &trace.Trace{App: "mini", Ranks: []trace.RankTrace{{Rank: 0}, {Rank: 1}}}
+	for i, tag := range tags {
+		t.Ranks[1].Events = append(t.Ranks[1].Events, trace.Event{
+			Kind: trace.OpRecv, Name: "MPI_Irecv", Peer: 0, Tag: tag,
+			Walltime: 0.1 + float64(i)*1e-3,
+		})
+	}
+	for i, tag := range tags {
+		t.Ranks[0].Events = append(t.Ranks[0].Events, trace.Event{
+			Kind: trace.OpSend, Name: "MPI_Isend", Peer: 1, Tag: tag,
+			Walltime: 0.5 + float64(i)*1e-3,
+		})
+	}
+	t.Ranks[1].Events = append(t.Ranks[1].Events, trace.Event{
+		Kind: trace.OpProgress, Name: "MPI_Waitall", Walltime: 0.9,
+	})
+	return t
+}
+
+func TestAnalyzeMatchesEverything(t *testing.T) {
+	tr := twoRankTrace([]int32{1, 2, 3, 4})
+	rep, err := Analyze(tr, Config{Bins: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Matched != 4 {
+		t.Fatalf("matched = %d, want 4", rep.Matched)
+	}
+	if rep.Unexpected != 0 {
+		t.Fatalf("unexpected = %d, want 0", rep.Unexpected)
+	}
+	if rep.TagsUsed != 4 || rep.UniqueKeys != 4 {
+		t.Fatalf("tags=%d keys=%d", rep.TagsUsed, rep.UniqueKeys)
+	}
+	if rep.Procs != 2 || rep.Bins != 16 {
+		t.Fatalf("report meta: %+v", rep)
+	}
+}
+
+func TestAnalyzeDepthShrinksWithBins(t *testing.T) {
+	// 32 distinct tags posted at once: with one bin arrivals walk a long
+	// chain; with many bins the chains collapse — the Figure 7 effect.
+	tags := make([]int32, 32)
+	for i := range tags {
+		tags[i] = int32(i)
+	}
+	// Reverse send order maximizes the 1-bin walk.
+	tr := twoRankTrace(tags)
+	sends := tr.Ranks[0].Events
+	for i, j := 0, len(sends)-1; i < j; i, j = i+1, j-1 {
+		sends[i].Tag, sends[j].Tag = sends[j].Tag, sends[i].Tag
+	}
+
+	reps, err := Sweep(tr, []int{1, 32, 128}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, d32, d128 := reps[0].AvgDepth(), reps[1].AvgDepth(), reps[2].AvgDepth()
+	if d32 >= d1/2 {
+		t.Fatalf("32 bins: depth %.2f did not collapse from %.2f", d32, d1)
+	}
+	if d128 > d32 {
+		t.Fatalf("128 bins (%.2f) worse than 32 (%.2f)", d128, d32)
+	}
+	if reps[0].MaxDepth() < 16 {
+		t.Fatalf("1-bin max depth %d unexpectedly small", reps[0].MaxDepth())
+	}
+}
+
+func TestAnalyzeUnexpectedPath(t *testing.T) {
+	// Send before the receive is posted: the message must be counted as
+	// unexpected and still match when the receive arrives.
+	tr := &trace.Trace{App: "unexp", Ranks: []trace.RankTrace{
+		{Rank: 0, Events: []trace.Event{
+			{Kind: trace.OpSend, Name: "MPI_Isend", Peer: 1, Tag: 5, Walltime: 0.1},
+		}},
+		{Rank: 1, Events: []trace.Event{
+			{Kind: trace.OpRecv, Name: "MPI_Irecv", Peer: 0, Tag: 5, Walltime: 0.5},
+			{Kind: trace.OpProgress, Name: "MPI_Wait", Walltime: 0.9},
+		}},
+	}}
+	rep, err := Analyze(tr, Config{Bins: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Unexpected != 1 || rep.Matched != 1 {
+		t.Fatalf("unexpected=%d matched=%d, want 1/1", rep.Unexpected, rep.Matched)
+	}
+}
+
+func TestAnalyzeWildcardCounting(t *testing.T) {
+	tr := &trace.Trace{App: "wild", Ranks: []trace.RankTrace{
+		{Rank: 0, Events: []trace.Event{
+			{Kind: trace.OpSend, Name: "MPI_Isend", Peer: 1, Tag: 5, Walltime: 0.5},
+		}},
+		{Rank: 1, Events: []trace.Event{
+			{Kind: trace.OpRecv, Name: "MPI_Irecv", Peer: trace.AnySource, Tag: trace.AnyTag, Walltime: 0.1},
+		}},
+	}}
+	rep, err := Analyze(tr, Config{Bins: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WildcardRecvs != 1 {
+		t.Fatalf("wildcard receives = %d", rep.WildcardRecvs)
+	}
+	if rep.Matched != 1 {
+		t.Fatalf("matched = %d", rep.Matched)
+	}
+	if rep.TagsUsed != 0 {
+		t.Fatalf("AnyTag counted as a tag: %d", rep.TagsUsed)
+	}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	tr := twoRankTrace([]int32{1})
+	if _, err := Analyze(tr, Config{Bins: 0}); err == nil {
+		t.Fatal("zero bins accepted")
+	}
+	// Overflowing the descriptor table must error, not panic.
+	big := make([]int32, 64)
+	for i := range big {
+		big[i] = int32(i)
+	}
+	if _, err := Analyze(twoRankTrace(big), Config{Bins: 4, MaxReceives: 8}); err == nil {
+		t.Fatal("table overflow not reported")
+	}
+}
+
+func TestAnalyzeProgressSampling(t *testing.T) {
+	tr := twoRankTrace([]int32{1, 2, 3})
+	// Move the progress op before the sends so posted depth is sampled > 0.
+	tr.Ranks[1].Events[3].Walltime = 0.3
+	rep, err := Analyze(tr, Config{Bins: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PostedAvg < 3 || rep.PostedMax < 3 {
+		t.Fatalf("posted sampling: avg=%.1f max=%d, want >= 3", rep.PostedAvg, rep.PostedMax)
+	}
+	if rep.EmptyBinPct <= 0 || rep.EmptyBinPct >= 100 {
+		t.Fatalf("empty bin pct = %.1f", rep.EmptyBinPct)
+	}
+}
+
+func TestAnalyzeRealGenerators(t *testing.T) {
+	// End-to-end over a few representative generated applications.
+	for _, name := range []string{"AMG", "BoxLib CNS", "CrystalRouter", "PARTISN", "HILO"} {
+		app, ok := tracegen.ByName(name)
+		if !ok {
+			t.Fatalf("app %s missing", name)
+		}
+		tr := app.Generate(tracegen.Config{Scale: 10})
+		rep, err := Analyze(tr, Config{Bins: 32})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		mix := tr.Mix()
+		if mix.P2P > 0 {
+			if rep.Matched == 0 {
+				t.Errorf("%s: no matches despite p2p traffic", name)
+			}
+			// Every send must eventually pair with a receive: the generators
+			// emit balanced traffic.
+			if rep.Matched*2 != uint64(mix.P2P) {
+				t.Errorf("%s: matched %d of %d p2p ops", name, rep.Matched*2, mix.P2P)
+			}
+		} else if rep.Matched != 0 {
+			t.Errorf("%s: collectives-only app produced matches", name)
+		}
+	}
+}
+
+func TestFigure7ShapeOnCNS(t *testing.T) {
+	// The headline Figure 7 claim in miniature: BoxLib CNS queue depth
+	// collapses by roughly 90% from 1 bin to 32 bins.
+	app, _ := tracegen.ByName("BoxLib CNS")
+	tr := app.Generate(tracegen.Config{Scale: 25})
+	reps, err := Sweep(tr, []int{1, 32, 128}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, d32, d128 := reps[0].AvgDepth(), reps[1].AvgDepth(), reps[2].AvgDepth()
+	if d1 < 5 {
+		t.Fatalf("1-bin depth %.2f too shallow for CNS", d1)
+	}
+	if d32 > d1*0.25 {
+		t.Errorf("32 bins: depth %.2f vs %.2f — expected a collapse", d32, d1)
+	}
+	if d128 > d32 {
+		t.Errorf("128 bins (%.3f) worse than 32 (%.3f)", d128, d32)
+	}
+	if reps[0].MaxDepth() < 20 {
+		t.Errorf("CNS 1-bin max depth %d, paper reports ~25", reps[0].MaxDepth())
+	}
+	if reps[2].MaxDepth() > 6 {
+		t.Errorf("CNS 128-bin max depth %d, paper reports ~1", reps[2].MaxDepth())
+	}
+}
+
+func TestFormatting(t *testing.T) {
+	tr := twoRankTrace([]int32{1, 2})
+	reps, err := Sweep(tr, []int{1, 32}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix := FormatCallMix(reps[:1])
+	if !strings.Contains(mix, "mini") || !strings.Contains(mix, "p2p%") {
+		t.Fatalf("call mix table:\n%s", mix)
+	}
+	qd := FormatQueueDepth("mini", reps)
+	if !strings.Contains(qd, "avg depth") || !strings.Contains(qd, "32") {
+		t.Fatalf("queue depth table:\n%s", qd)
+	}
+	sum := FormatFigure7Summary(map[string][]*Report{"mini": reps}, []int{1, 32})
+	if !strings.Contains(sum, "AVERAGE") {
+		t.Fatalf("summary:\n%s", sum)
+	}
+	tags := FormatTagUsage(reps[:1])
+	if !strings.Contains(tags, "unique keys") || !strings.Contains(tags, "mini") {
+		t.Fatalf("tag usage:\n%s", tags)
+	}
+}

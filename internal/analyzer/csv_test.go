@@ -1,0 +1,96 @@
+package analyzer
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := twoRankTrace([]int32{1, 2, 3})
+	rep, err := Analyze(tr, Config{Bins: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	app, bins, avg, max, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app != "mini" || bins != 32 {
+		t.Fatalf("round trip meta: %q %d", app, bins)
+	}
+	if avg != rep.AvgDepth() || max != rep.MaxDepth() {
+		t.Fatalf("round trip depth: %v/%v vs %v/%v", avg, max, rep.AvgDepth(), rep.MaxDepth())
+	}
+}
+
+func TestReadCSVMalformed(t *testing.T) {
+	if _, _, _, _, err := ReadCSV(strings.NewReader("just,one,line\n")); err == nil {
+		t.Fatal("malformed CSV accepted")
+	}
+	if _, _, _, _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Fatal("empty CSV accepted")
+	}
+}
+
+func TestWriteTreeArtifactLayout(t *testing.T) {
+	tr := twoRankTrace([]int32{1, 2})
+	reps, err := Sweep(tr, []int{1, 32}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := t.TempDir()
+	if err := WriteTree(root, reps); err != nil {
+		t.Fatal(err)
+	}
+	for _, bins := range []string{"1", "32"} {
+		path := filepath.Join(root, "mini", bins, "stats.csv")
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatalf("missing artifact file: %v", err)
+		}
+		app, b, _, _, err := ReadCSV(f)
+		f.Close()
+		if err != nil || app != "mini" || b == 0 {
+			t.Fatalf("artifact file %s unreadable: %v", path, err)
+		}
+	}
+}
+
+func TestRecordSeries(t *testing.T) {
+	tr := twoRankTrace([]int32{1, 2, 3})
+	// Sample mid-stream so the data points carry live state.
+	tr.Ranks[1].Events[3].Walltime = 0.3
+	rep, err := Analyze(tr, Config{Bins: 8, RecordSeries: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Series) == 0 {
+		t.Fatal("no data points recorded")
+	}
+	p := rep.Series[0]
+	if p.Rank != 1 || p.Posted != 3 {
+		t.Fatalf("data point = %+v, want rank 1 with 3 posted", p)
+	}
+	if p.TotalBins == 0 {
+		t.Fatal("occupancy missing from data point")
+	}
+	var buf bytes.Buffer
+	if err := WriteSeriesCSV(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "posted") || len(strings.Split(strings.TrimSpace(buf.String()), "\n")) != 1+len(rep.Series) {
+		t.Fatalf("series CSV malformed:\n%s", buf.String())
+	}
+	// Without the flag, no series is kept.
+	rep2, _ := Analyze(tr, Config{Bins: 8})
+	if len(rep2.Series) != 0 {
+		t.Fatal("series recorded without RecordSeries")
+	}
+}

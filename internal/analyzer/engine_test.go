@@ -1,0 +1,88 @@
+package analyzer
+
+import (
+	"testing"
+
+	"repro/internal/tracegen"
+)
+
+// TestEnginesAgreeOnOutcomes: every analyzer engine emulates the same MPI
+// semantics, so matched/unexpected totals must be identical on one trace —
+// only the search costs differ.
+func TestEnginesAgreeOnOutcomes(t *testing.T) {
+	app, _ := tracegen.ByName("BoxLib CNS")
+	tr := app.Generate(tracegen.Config{Scale: 10})
+
+	engines := []Engine{EngineOptimistic, EngineList, EngineBin, EngineRank, EngineAdaptive}
+	var matched, unexpected uint64
+	for i, eng := range engines {
+		rep, err := Analyze(tr, Config{Engine: eng, Bins: 32})
+		if err != nil {
+			t.Fatalf("%s: %v", eng, err)
+		}
+		if i == 0 {
+			matched, unexpected = rep.Matched, rep.Unexpected
+			continue
+		}
+		if rep.Matched != matched || rep.Unexpected != unexpected {
+			t.Errorf("%s: matched/unexpected %d/%d, want %d/%d",
+				eng, rep.Matched, rep.Unexpected, matched, unexpected)
+		}
+	}
+}
+
+// TestEngineCostOrdering: on a direction-tagged stencil the binned engines
+// must search far less than the list, and the per-rank partitions land in
+// between (many senders share tags, but each partition is shallow).
+func TestEngineCostOrdering(t *testing.T) {
+	app, _ := tracegen.ByName("BoxLib CNS")
+	tr := app.Generate(tracegen.Config{Scale: 10})
+
+	depth := func(eng Engine) float64 {
+		rep, err := Analyze(tr, Config{Engine: eng, Bins: 64})
+		if err != nil {
+			t.Fatalf("%s: %v", eng, err)
+		}
+		return rep.AvgDepth()
+	}
+	list := depth(EngineList)
+	bin := depth(EngineBin)
+	opt := depth(EngineOptimistic)
+	rank := depth(EngineRank)
+
+	if bin >= list/2 {
+		t.Errorf("bin depth %.3f did not improve on list %.3f", bin, list)
+	}
+	if opt >= list/2 {
+		t.Errorf("optimistic depth %.3f did not improve on list %.3f", opt, list)
+	}
+	if rank >= list {
+		t.Errorf("rank depth %.3f worse than list %.3f", rank, list)
+	}
+}
+
+// TestEngineAdaptiveMigratesOnDeepTrace: the dynamic baseline must end up
+// on the binned structure for a queue-heavy application.
+func TestEngineAdaptiveMigratesOnDeepTrace(t *testing.T) {
+	app, _ := tracegen.ByName("BoxLib CNS")
+	tr := app.Generate(tracegen.Config{Scale: 10})
+	listRep, err := Analyze(tr, Config{Engine: EngineList, Bins: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptRep, err := Analyze(tr, Config{Engine: EngineAdaptive, Bins: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adaptRep.AvgDepth() >= listRep.AvgDepth() {
+		t.Errorf("adaptive depth %.3f did not improve on list %.3f",
+			adaptRep.AvgDepth(), listRep.AvgDepth())
+	}
+}
+
+func TestEngineUnknown(t *testing.T) {
+	tr := twoRankTrace([]int32{1})
+	if _, err := Analyze(tr, Config{Engine: "nope", Bins: 4}); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+}

@@ -1,0 +1,98 @@
+package analyzer
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FormatCallMix renders the Figure 6 table: per-application shares of
+// point-to-point, collective, and one-sided communication calls.
+func FormatCallMix(reports []*Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %8s %8s %8s %10s\n", "Application", "p2p%", "coll%", "1sided%", "comm calls")
+	for _, r := range reports {
+		total := r.Mix.CommTotal()
+		pct := func(n int) float64 {
+			if total == 0 {
+				return 0
+			}
+			return 100 * float64(n) / float64(total)
+		}
+		fmt.Fprintf(&b, "%-18s %8.1f %8.1f %8.1f %10d\n",
+			r.App, pct(r.Mix.P2P), pct(r.Mix.Collective), pct(r.Mix.OneSided), total)
+	}
+	return b.String()
+}
+
+// FormatQueueDepth renders the Figure 7 table for one application: average
+// and maximum queue depth at each analyzed bin count.
+func FormatQueueDepth(app string, reports []*Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", app)
+	fmt.Fprintf(&b, "  %6s %10s %10s %12s %10s\n", "bins", "avg depth", "max depth", "unexpected", "empty bin%")
+	for _, r := range reports {
+		fmt.Fprintf(&b, "  %6d %10.3f %10d %12d %10.1f\n",
+			r.Bins, r.AvgDepth(), r.MaxDepth(), r.Unexpected, r.EmptyBinPct)
+	}
+	return b.String()
+}
+
+// FormatTagUsage renders the §V tag-usage statistics: distinct tags and
+// (source, tag) keys per application, plus wildcard share — the evidence
+// behind the paper's conclusion that "the number of unique source/tag
+// posted receives is low, indicating that the receives are well spread in
+// the hash tables".
+func FormatTagUsage(reports []*Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %8s %12s %10s %14s\n",
+		"Application", "tags", "unique keys", "wildcards", "keys/process")
+	for _, r := range reports {
+		perProc := 0.0
+		if r.Procs > 0 {
+			perProc = float64(r.UniqueKeys) / float64(r.Procs)
+		}
+		fmt.Fprintf(&b, "%-18s %8d %12d %10d %14.2f\n",
+			r.App, r.TagsUsed, r.UniqueKeys, r.WildcardRecvs, perProc)
+	}
+	return b.String()
+}
+
+// FormatFigure7Summary renders the cross-application view of Figure 7: for
+// each bin count, the average of per-application average depths (the red
+// line in the paper's plots) plus each app's avg/max.
+func FormatFigure7Summary(byApp map[string][]*Report, bins []int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s", "Application")
+	for _, bin := range bins {
+		fmt.Fprintf(&b, " %8s", fmt.Sprintf("avg@%d", bin))
+	}
+	for _, bin := range bins {
+		fmt.Fprintf(&b, " %8s", fmt.Sprintf("max@%d", bin))
+	}
+	fmt.Fprintln(&b)
+
+	sums := make([]float64, len(bins))
+	apps := 0
+	for app, reps := range byApp {
+		fmt.Fprintf(&b, "%-18s", app)
+		for i := range bins {
+			fmt.Fprintf(&b, " %8.3f", reps[i].AvgDepth())
+		}
+		for i := range bins {
+			fmt.Fprintf(&b, " %8d", reps[i].MaxDepth())
+		}
+		fmt.Fprintln(&b)
+		for i := range bins {
+			sums[i] += reps[i].AvgDepth()
+		}
+		apps++
+	}
+	if apps > 0 {
+		fmt.Fprintf(&b, "%-18s", "AVERAGE")
+		for i := range bins {
+			fmt.Fprintf(&b, " %8.3f", sums[i]/float64(apps))
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}

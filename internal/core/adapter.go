@@ -1,0 +1,54 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/match"
+)
+
+// Sequential adapts an OptimisticMatcher to the match.Matcher interface,
+// processing every arrival as a one-message block. It is what the trace
+// analyzer replays traces through, and what the golden-model property tests
+// compare against the baselines. The adapter panics on ErrTableFull —
+// callers that can overflow the descriptor table must size it accordingly
+// or use PostRecv directly and implement the software fallback.
+type Sequential struct {
+	m *OptimisticMatcher
+}
+
+// Sequential returns the match.Matcher view of the engine.
+func (m *OptimisticMatcher) Sequential() *Sequential {
+	return &Sequential{m: m}
+}
+
+// PostRecv implements match.Matcher.
+func (s *Sequential) PostRecv(r *match.Recv) (*match.Envelope, bool) {
+	env, ok, err := s.m.PostRecv(r)
+	if err != nil {
+		panic(fmt.Sprintf("core: Sequential adapter: %v", err))
+	}
+	return env, ok
+}
+
+// Arrive implements match.Matcher.
+func (s *Sequential) Arrive(e *match.Envelope) (*match.Recv, bool) {
+	res := s.m.Arrive(e)
+	if res.Unexpected {
+		return nil, false
+	}
+	return res.Recv, true
+}
+
+// PostedDepth implements match.Matcher.
+func (s *Sequential) PostedDepth() int { return s.m.PostedDepth() }
+
+// UnexpectedDepth implements match.Matcher.
+func (s *Sequential) UnexpectedDepth() int { return s.m.UnexpectedDepth() }
+
+// Stats implements match.Matcher.
+func (s *Sequential) Stats() match.Stats { return s.m.DepthStats() }
+
+// ResetStats implements match.Matcher.
+func (s *Sequential) ResetStats() { s.m.ResetDepthStats() }
+
+var _ match.Matcher = (*Sequential)(nil)

@@ -1,0 +1,110 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/match"
+)
+
+// Package-level microbenchmarks for the engine's hot paths; the repository
+// root's bench_test.go holds the table/figure-level harnesses.
+
+func benchMatcher(b *testing.B, bins, blockN int) *core.OptimisticMatcher {
+	b.Helper()
+	return core.MustNew(core.Config{
+		Bins: bins, MaxReceives: 8192, BlockSize: blockN,
+		EarlyBookingCheck: true, LazyRemoval: true, UseInlineHashes: true,
+	})
+}
+
+// BenchmarkPostRecv measures the host→engine posting path (§IV-E compares
+// it to hardware tag matching command cost).
+func BenchmarkPostRecv(b *testing.B) {
+	m := benchMatcher(b, 2048, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := &match.Recv{Source: match.Rank(i % 64), Tag: match.Tag(i % 1024)}
+		if _, _, err := m.PostRecv(r); err != nil {
+			b.Fatal(err)
+		}
+		// Keep the table bounded: consume the receive again.
+		b.StopTimer()
+		m.Arrive(&match.Envelope{Source: r.Source, Tag: r.Tag})
+		b.StartTimer()
+	}
+}
+
+// BenchmarkArriveExpected measures the single-message matching cycle on a
+// warm table.
+func BenchmarkArriveExpected(b *testing.B) {
+	m := benchMatcher(b, 2048, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		r := &match.Recv{Source: 3, Tag: match.Tag(i % 512)}
+		if _, _, err := m.PostRecv(r); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if res := m.Arrive(&match.Envelope{Source: 3, Tag: match.Tag(i % 512)}); res.Unexpected {
+			b.Fatal("unexpected")
+		}
+	}
+}
+
+// BenchmarkArriveUnexpected measures the quadruple-index store path.
+func BenchmarkArriveUnexpected(b *testing.B) {
+	m := benchMatcher(b, 2048, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Arrive(&match.Envelope{Source: match.Rank(i % 64), Tag: match.Tag(i)})
+		// Drain periodically so the store doesn't grow unbounded.
+		if i%256 == 255 {
+			b.StopTimer()
+			for j := i - 255; j <= i; j++ {
+				m.PostRecv(&match.Recv{Source: match.Rank(j % 64), Tag: match.Tag(j)})
+			}
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkParallelBlock measures full block turnaround (barrier + conflict
+// machinery included) at several widths.
+func BenchmarkParallelBlock(b *testing.B) {
+	for _, n := range []int{1, 8, 32} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			m := benchMatcher(b, 2048, n)
+			envs := make([]*match.Envelope, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				for j := 0; j < n; j++ {
+					m.PostRecv(&match.Recv{Source: match.Rank(j), Tag: match.Tag(j)})
+					envs[j] = &match.Envelope{Source: match.Rank(j), Tag: match.Tag(j)}
+				}
+				b.StartTimer()
+				m.ArriveBlock(envs)
+			}
+			b.ReportMetric(float64(n), "msgs/block")
+		})
+	}
+}
+
+// BenchmarkPeekUnexpected measures the MPI_Iprobe primitive.
+func BenchmarkPeekUnexpected(b *testing.B) {
+	m := benchMatcher(b, 2048, 1)
+	for i := 0; i < 512; i++ {
+		m.Arrive(&match.Envelope{Source: match.Rank(i % 16), Tag: match.Tag(i)})
+	}
+	r := &match.Recv{Source: 3, Tag: 99}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.PeekUnexpected(r)
+	}
+}

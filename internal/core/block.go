@@ -1,0 +1,492 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/match"
+)
+
+// Path identifies how a message's match was finalized, for statistics and
+// for the Figure 8 scenario assertions.
+type Path uint8
+
+const (
+	// PathOptimistic: the optimistic phase succeeded with no conflict.
+	PathOptimistic Path = iota
+	// PathFast: a conflict was resolved on the fast path (§III-D3a).
+	PathFast
+	// PathSlow: a conflict (or a lower thread's conflict) forced the slow
+	// path (§III-D3b).
+	PathSlow
+	// PathUnexpected: no receive matched; the message was stored.
+	PathUnexpected
+)
+
+// String implements fmt.Stringer.
+func (p Path) String() string {
+	switch p {
+	case PathOptimistic:
+		return "optimistic"
+	case PathFast:
+		return "fast"
+	case PathSlow:
+		return "slow"
+	case PathUnexpected:
+		return "unexpected"
+	}
+	return fmt.Sprintf("Path(%d)", uint8(p))
+}
+
+// Result is the outcome of matching one message.
+type Result struct {
+	Env        *match.Envelope
+	Recv       *match.Recv // matched receive, nil when Unexpected
+	Unexpected bool
+	Path       Path
+}
+
+// frontier tracks completion of per-thread milestones in thread order: the
+// level is the length of the completed prefix. Threads complete in
+// arbitrary order; waiters sleep on the shared condition variable until the
+// prefix reaches them. Compared with spin barriers this costs O(n) wakeups
+// per block instead of O(n²) scheduler churn — which matters when the
+// simulator runs more logical threads than cores — and it allocates
+// nothing, so blocks can be recycled.
+type frontier struct {
+	mu    *sync.Mutex
+	cond  *sync.Cond
+	done  [MaxBlockSize]bool
+	level int // all threads < level have completed
+}
+
+// reset prepares the frontier for a new block of n threads.
+func (f *frontier) reset(mu *sync.Mutex, cond *sync.Cond, n int) {
+	f.mu, f.cond = mu, cond
+	for i := 0; i < n; i++ {
+		f.done[i] = false
+	}
+	f.level = 0
+}
+
+// complete marks thread i done and advances the frontier.
+func (f *frontier) complete(i int) {
+	f.mu.Lock()
+	f.done[i] = true
+	advanced := false
+	for f.level < MaxBlockSize && f.done[f.level] {
+		f.level++
+		advanced = true
+	}
+	f.mu.Unlock()
+	if advanced {
+		f.cond.Broadcast()
+	}
+}
+
+// waitThrough blocks until every thread 0..i has completed.
+func (f *frontier) waitThrough(i int) {
+	if i < 0 {
+		return
+	}
+	f.mu.Lock()
+	for f.level <= i {
+		f.cond.Wait()
+	}
+	f.mu.Unlock()
+}
+
+// Block processes up to BlockSize consecutive messages in parallel. Obtain
+// one with BeginBlock, call Match concurrently from exactly n goroutines
+// (thread IDs 0..n-1, one per message in arrival order), then call Finish.
+// The matcher lock is held for the whole block, excluding posts — the
+// linearization the DPA achieves with run-to-completion handlers.
+type Block struct {
+	m     *OptimisticMatcher
+	n     int
+	mask  uint32
+	epoch uint32
+
+	fmu   sync.Mutex // shared by both frontiers
+	fcond *sync.Cond
+
+	booked frontier // partial barrier: booking milestones (§III-D1)
+	done   frontier // finalization milestones (slow-path chain)
+
+	cand [MaxBlockSize]atomic.Int32 // candidate slot per thread, -1 = none
+
+	// Per-thread outputs; each thread writes only its own slot.
+	final   [MaxBlockSize]*descriptor
+	results [MaxBlockSize]Result
+	tstats  [MaxBlockSize]threadStats
+
+	seqBase uint64
+}
+
+// threadStats accumulates per-thread counters, folded into EngineStats at
+// Finish to avoid atomic contention on the hot path.
+type threadStats struct {
+	traversed  uint64
+	optimistic uint64
+	relaxed    uint64
+	conflicts  uint64
+	fastPath   uint64
+	slowPath   uint64
+	unexpected uint64
+	matched    uint64
+	maxDepth   uint64
+}
+
+// BeginBlock starts an arrival block for n messages (1 <= n <= BlockSize).
+// It blocks until any in-flight posts complete and holds the matcher lock
+// until Finish.
+func (m *OptimisticMatcher) BeginBlock(n int) *Block {
+	if n < 1 || n > m.cfg.BlockSize {
+		panic(fmt.Sprintf("core: BeginBlock(%d) outside [1,%d]", n, m.cfg.BlockSize))
+	}
+	m.mu.Lock()
+	m.epoch++
+	// The matcher lock serializes blocks, so a single Block value is
+	// recycled: no per-block allocation on the hot path.
+	b := &m.block
+	b.m = m
+	b.n = n
+	b.mask = uint32(1)<<uint(n) - 1
+	b.epoch = m.epoch
+	if b.fcond == nil {
+		b.fcond = sync.NewCond(&b.fmu)
+	}
+	b.booked.reset(&b.fmu, b.fcond, n)
+	b.done.reset(&b.fmu, b.fcond, n)
+	b.seqBase = m.nextSeq
+	m.nextSeq += uint64(n)
+	for i := 0; i < n; i++ {
+		b.cand[i].Store(-1)
+		b.final[i] = nil
+		b.results[i] = Result{}
+		b.tstats[i] = threadStats{}
+	}
+	return b
+}
+
+// Match matches the message for thread tid. It must be called exactly once
+// for every tid in [0, n) and may block on the partial barrier until all
+// lower-numbered threads have called it.
+func (b *Block) Match(tid int, env *match.Envelope) Result {
+	if env.Seq == 0 {
+		env.Seq = b.seqBase + uint64(tid) + 1
+	}
+	st := &b.tstats[tid]
+
+	// Relaxed matching (§VII mpi_assert_allow_overtaking): ordering
+	// constraints are waived on this communicator, so the thread simply
+	// claims any matching receive, with no booking or conflict resolution.
+	if b.m.hints.get(env.Comm).AllowOvertaking {
+		return b.matchRelaxed(tid, env, st)
+	}
+
+	// Optimistic phase (§III-C): search all indexes as if alone, select the
+	// minimum-label candidate, and book it.
+	cand := b.m.searchOldest(env, tid, b.epoch, b.m.cfg.EarlyBookingCheck, st)
+	if cand != nil {
+		cand.book(b.epoch, tid)
+		b.cand[tid].Store(cand.slot)
+	}
+
+	// Partial barrier (§III-D1): wait for all earlier-message threads to
+	// have booked their candidates.
+	b.enterBarrier(tid)
+
+	// Conflict detection (§III-D2).
+	myLoss := false
+	if cand != nil {
+		booking := cand.bookingBits(b.epoch) & b.mask
+		if lowestBit(booking) < tid {
+			myLoss = true
+		}
+	}
+	lostLower := b.anyLowerConflict(tid)
+
+	if !myLoss && !lostLower {
+		if cand == nil {
+			return b.finalizeUnexpected(tid, env, PathUnexpected)
+		}
+		if cand.consume(b.epoch) {
+			st.optimistic++
+			return b.finalizeMatch(tid, env, cand, PathOptimistic)
+		}
+		myLoss = true // defensive: should be unreachable
+	}
+	if myLoss {
+		st.conflicts++
+	}
+
+	// Fast path (§III-D3a): if every thread booked the same receive — the
+	// head of a sequence of compatible receives — thread tid shifts to the
+	// receive tid positions later in the sequence.
+	if myLoss && cand != nil && !b.m.cfg.DisableFastPath &&
+		cand.bookingBits(b.epoch)&b.mask == b.mask {
+		if d := b.fastShift(cand, tid); d != nil {
+			st.fastPath++
+			return b.finalizeMatch(tid, env, d, PathFast)
+		}
+	}
+
+	// Slow path (§III-D3b): wait for every earlier thread to finalize, then
+	// redo the search with exclusive access to the leftovers.
+	b.waitLowerDone(tid)
+	st.slowPath++
+	for {
+		d := b.m.searchOldest(env, tid, b.epoch, false, st)
+		if d == nil {
+			return b.finalizeUnexpected(tid, env, PathUnexpected)
+		}
+		if d.consume(b.epoch) {
+			return b.finalizeMatch(tid, env, d, PathSlow)
+		}
+		// A racing consumption is impossible once the lower threads are
+		// done, but retrying keeps the loop self-correcting regardless.
+	}
+}
+
+// matchRelaxed is the allow_overtaking arrival path: claim the first
+// available matching receive by CAS, retrying on racing consumption. The
+// thread still participates in the booking frontier (with no candidate) so
+// ordered threads of the same block are not stalled at the partial barrier.
+func (b *Block) matchRelaxed(tid int, env *match.Envelope, st *threadStats) Result {
+	b.booked.complete(tid)
+	st.relaxed++
+	for {
+		d := b.m.searchOldest(env, tid, b.epoch, false, st)
+		if d == nil {
+			return b.finalizeUnexpected(tid, env, PathUnexpected)
+		}
+		if d.consume(b.epoch) {
+			return b.finalizeMatch(tid, env, d, PathOptimistic)
+		}
+	}
+}
+
+// enterBarrier publishes thread tid's booking and waits for threads < tid
+// (§III-D1 partial barrier) — or for all threads when the matcher models
+// simultaneous handler activation.
+func (b *Block) enterBarrier(tid int) {
+	b.booked.complete(tid)
+	if b.m.cfg.SimultaneousArrival {
+		b.booked.waitThrough(b.n - 1)
+		return
+	}
+	b.booked.waitThrough(tid - 1)
+}
+
+// waitLowerDone blocks until every thread below tid has finalized.
+func (b *Block) waitLowerDone(tid int) {
+	b.done.waitThrough(tid - 1)
+}
+
+// anyLowerConflict reports whether any thread below tid lost its booking in
+// the optimistic phase. If so, this thread must resolve (§III-D2): the
+// conflicted thread may re-select this thread's candidate and has
+// precedence. Booking bitmaps are stable after the partial barrier, so the
+// computation is race-free.
+func (b *Block) anyLowerConflict(tid int) bool {
+	for i := 0; i < tid; i++ {
+		slot := b.cand[i].Load()
+		if slot < 0 {
+			continue
+		}
+		d := b.m.table.get(slot)
+		booking := d.bookingBits(b.epoch) & b.mask
+		if booking != 0 && lowestBit(booking) < i {
+			return true
+		}
+	}
+	return false
+}
+
+// fastShift walks the compatible sequence starting at cand and consumes the
+// entry at position tid (position 0 is cand itself). Entries consumed in
+// earlier blocks are skipped without counting — they were never available
+// to this block — while entries consumed by this block's peers occupy their
+// position. It returns nil when the sequence is too short or the walk
+// leaves the sequence (different sequence ID), in which case the caller
+// must take the slow path.
+func (b *Block) fastShift(cand *descriptor, tid int) *descriptor {
+	pos := 0
+	for d := cand; d != nil; d = d.next.Load() {
+		if d.seqID != cand.seqID {
+			return nil // left the sequence of compatible receives
+		}
+		if d.isConsumed() && d.consumeEpoch.Load() != b.epoch {
+			continue // consumed before this block: never a position
+		}
+		if pos == tid {
+			if d.consume(b.epoch) {
+				return d
+			}
+			return nil // defensive: position math violated, use slow path
+		}
+		pos++
+	}
+	return nil
+}
+
+// finalizeMatch records a completed pairing and signals the done bitmap.
+func (b *Block) finalizeMatch(tid int, env *match.Envelope, d *descriptor, p Path) Result {
+	if !b.m.cfg.LazyRemoval {
+		eagerUnlink(d)
+	}
+	b.final[tid] = d
+	r := Result{Env: env, Recv: d.recv, Path: p}
+	b.results[tid] = r
+	b.tstats[tid].matched++
+	b.done.complete(tid)
+	return r
+}
+
+// finalizeUnexpected stores the message and signals the done bitmap.
+func (b *Block) finalizeUnexpected(tid int, env *match.Envelope, p Path) Result {
+	b.m.unexpected.insert(env)
+	r := Result{Env: env, Unexpected: true, Path: p}
+	b.results[tid] = r
+	b.tstats[tid].unexpected++
+	b.done.complete(tid)
+	return r
+}
+
+// Finish completes the block: it sweeps consumed descriptors out of their
+// chains (the deferred half of lazy removal), releases them to the free
+// pool, folds statistics, and releases the matcher lock.
+func (b *Block) Finish() {
+	m := b.m
+	for tid := 0; tid < b.n; tid++ {
+		if d := b.final[tid]; d != nil {
+			if !d.unlinked {
+				unlink(d) // exclusive: matcher lock held, threads joined
+				m.stats.LazyReaped++
+			}
+			m.table.release(d)
+		}
+		ts := &b.tstats[tid]
+		m.stats.Messages++
+		m.stats.Optimistic += ts.optimistic
+		m.stats.Conflicts += ts.conflicts
+		m.stats.FastPath += ts.fastPath
+		m.stats.SlowPath += ts.slowPath
+		m.stats.Unexpected += ts.unexpected
+		m.stats.Relaxed += ts.relaxed
+		m.depth.ArriveSearches++
+		m.depth.ArriveTraversed += ts.traversed
+		if ts.maxDepth > m.depth.ArriveMaxDepth {
+			m.depth.ArriveMaxDepth = ts.maxDepth
+		}
+		m.depth.Matched += ts.matched
+		m.depth.Unexpected += ts.unexpected
+	}
+	m.stats.Blocks++
+	if m.cfg.LazyRemoval {
+		m.stats.LazySweeps++
+	}
+	m.mu.Unlock()
+}
+
+// searchOldest performs the §III-C cross-index search: each index yields
+// its oldest matching available receive, and the global minimum posting
+// label wins (constraint C1 across indexes). Hash values are taken from
+// the sender-computed header when UseInlineHashes is set.
+func (m *OptimisticMatcher) searchOldest(env *match.Envelope, tid int, epoch uint32, earlyCheck bool, st *threadStats) *descriptor {
+	var h match.InlineHashes
+	if m.cfg.UseInlineHashes {
+		if env.Inline != nil {
+			h = *env.Inline // sender-computed, carried in the header
+		} else {
+			h = match.ComputeInlineHashes(env)
+		}
+	} else {
+		h = match.InlineHashes{
+			SrcTag: match.HashSrcTag(env.Source, env.Tag, env.Comm),
+			Tag:    match.HashTag(env.Tag, env.Comm),
+			Src:    match.HashSrc(env.Source, env.Comm),
+		}
+	}
+
+	var best *descriptor
+	var traversed uint64
+
+	consider := func(d *descriptor, n uint64) {
+		traversed += n
+		if d != nil && (best == nil || d.label < best.label) {
+			best = d
+		}
+	}
+	// Communicator assertions (§VII) prune entire wildcard indexes: a
+	// no_any_source communicator can never have a receive in the source-
+	// wildcard index, so its messages skip that search.
+	hints := m.hints.get(env.Comm)
+	consider(m.idxFull.search(env, h.SrcTag, tid, epoch, earlyCheck))
+	if !hints.NoAnySource {
+		consider(m.idxSrcWild.search(env, h.Tag, tid, epoch, earlyCheck))
+	}
+	if !hints.NoAnyTag {
+		consider(m.idxTagWild.search(env, h.Src, tid, epoch, earlyCheck))
+	}
+	if !hints.NoWildcards() {
+		consider(m.idxBoth.search(env, 0, tid, epoch, earlyCheck))
+	}
+
+	if st != nil {
+		st.traversed += traversed
+		if traversed > st.maxDepth {
+			st.maxDepth = traversed
+		}
+	}
+	return best
+}
+
+// lowestBit returns the index of the lowest set bit, or 64 when v is 0.
+func lowestBit(v uint32) int {
+	if v == 0 {
+		return 64
+	}
+	return bits.TrailingZeros32(v)
+}
+
+// ArriveBlock matches a batch of messages, processing them in parallel
+// chunks of at most BlockSize, and returns one Result per message in input
+// order. Envelopes without a sequence number are assigned one in input
+// order, which is taken as arrival order.
+func (m *OptimisticMatcher) ArriveBlock(envs []*match.Envelope) []Result {
+	out := make([]Result, 0, len(envs))
+	for len(envs) > 0 {
+		n := len(envs)
+		if n > m.cfg.BlockSize {
+			n = m.cfg.BlockSize
+		}
+		chunk := envs[:n]
+		envs = envs[n:]
+
+		b := m.BeginBlock(n)
+		var wg sync.WaitGroup
+		wg.Add(n)
+		for tid := 0; tid < n; tid++ {
+			go func(tid int) {
+				defer wg.Done()
+				b.Match(tid, chunk[tid])
+			}(tid)
+		}
+		wg.Wait()
+		out = append(out, b.results[:n]...)
+		b.Finish()
+	}
+	return out
+}
+
+// Arrive matches a single message (a one-message block).
+func (m *OptimisticMatcher) Arrive(env *match.Envelope) Result {
+	b := m.BeginBlock(1)
+	r := b.Match(0, env)
+	b.Finish()
+	return r
+}

@@ -1,0 +1,378 @@
+// Package core implements Optimistic Tag Matching, the paper's primary
+// contribution: a bin-based MPI message-matching engine designed for
+// lightweight, highly parallel on-NIC accelerators such as the BlueField-3
+// Data Path Accelerator.
+//
+// Posted receives are split across four indexes according to the wildcards
+// they use (§III-B): a (source,tag)-keyed hash table, a tag-keyed table for
+// AnySource receives, a source-keyed table for AnyTag receives, and a
+// posting-ordered list for receives with both wildcards. Every receive
+// carries a monotonically increasing posting label (for constraint C1
+// across indexes) and a compatible-sequence ID (for the fast conflict-
+// resolution path).
+//
+// Incoming messages are processed in blocks of up to N consecutive messages
+// by N parallel threads (§III-A). Each thread matches its message
+// optimistically — as if alone — then books its candidate receive in the
+// receive's booking bitmap, synchronizes on a partial barrier with all
+// lower-numbered threads (§III-D1), and checks for conflicts (§III-D2).
+// Conflicts are resolved either on the fast path — when all threads booked
+// the head of a sequence of compatible receives, thread i simply shifts to
+// the receive i positions later in the sequence (§III-D3a) — or on the slow
+// path, where thread i waits for thread i−1 to finalize and then redoes the
+// search (§III-D3b).
+//
+// Unexpected messages are stored in a mirror set of indexes, with each
+// message indexed in all four structures so that a newly posted receive
+// needs to search only the one index matching its wildcard class (§IV-C).
+//
+// The three §IV-D optimizations — inline hash values, the early booking
+// check, and lazy removal — are implemented and individually switchable for
+// ablation.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/match"
+)
+
+// MaxBlockSize is the largest supported matching block (the paper's
+// prototype uses 32 threads, "limited by the bookkeeping bitmap size").
+const MaxBlockSize = 32
+
+// Model byte costs from §IV-E, used for DPA memory budgeting.
+const (
+	// BinModelBytes is the accounted size of one bin: a 4-byte remove lock
+	// plus head and tail pointers (8 bytes each).
+	BinModelBytes = 20
+	// DescriptorModelBytes is the accounted size of one receive descriptor.
+	DescriptorModelBytes = 64
+	// IndexTables is the number of binned hash tables (the both-wildcard
+	// class is a plain list and has no bins).
+	IndexTables = 3
+)
+
+// ErrTableFull is returned by PostRecv when the descriptor table is
+// exhausted; per §III-B the application must then fall back to software
+// (host) tag matching.
+var ErrTableFull = errors.New("core: receive descriptor table full")
+
+// Config parameterizes an OptimisticMatcher.
+type Config struct {
+	// Bins is the number of buckets in each of the three hash tables.
+	// One bin degenerates to traditional list search.
+	Bins int
+	// MaxReceives is the descriptor-table capacity: the maximum number of
+	// receives posted at the same time (§III-B).
+	MaxReceives int
+	// BlockSize is N, the number of messages matched in parallel
+	// (1..MaxBlockSize).
+	BlockSize int
+
+	// EarlyBookingCheck enables the §IV-D optimization that skips, during
+	// the optimistic search, receives already booked by a lower thread.
+	EarlyBookingCheck bool
+	// LazyRemoval enables the §IV-D optimization that marks consumed
+	// receives instead of unlinking them inline; marked entries are swept
+	// out when a lock holder next walks the chain.
+	LazyRemoval bool
+	// UseInlineHashes trusts sender-computed hash values carried in the
+	// message header (§IV-D) instead of hashing on the accelerator.
+	UseInlineHashes bool
+	// DisableFastPath forces every conflict onto the slow path; used by the
+	// Figure 8 "with-conflict, slow path" scenario and by ablations.
+	DisableFastPath bool
+	// SimultaneousArrival models the DPA's simultaneous handler activation
+	// on a message burst: every thread completes its optimistic search and
+	// booking before any thread moves to conflict detection (a full barrier
+	// instead of the partial one). Without it, a simulated thread that
+	// finishes early consumes its receive before later threads even search,
+	// so the all-threads-booked-the-same-receive precondition of the fast
+	// path almost never forms. The partial barrier remains the default, as
+	// in the paper.
+	SimultaneousArrival bool
+}
+
+// DefaultConfig mirrors the paper's prototype configuration (§VI): hash
+// tables sized at twice the maximum number of in-flight receives, 1024
+// in-flight receives, 32 threads, all optimizations on.
+func DefaultConfig() Config {
+	return Config{
+		Bins:              2048,
+		MaxReceives:       1024,
+		BlockSize:         32,
+		EarlyBookingCheck: true,
+		LazyRemoval:       true,
+		UseInlineHashes:   true,
+	}
+}
+
+// validate normalizes cfg and reports configuration errors.
+func (cfg *Config) validate() error {
+	if cfg.Bins < 1 {
+		return fmt.Errorf("core: Bins must be >= 1, got %d", cfg.Bins)
+	}
+	if cfg.MaxReceives < 1 {
+		return fmt.Errorf("core: MaxReceives must be >= 1, got %d", cfg.MaxReceives)
+	}
+	if cfg.BlockSize < 1 || cfg.BlockSize > MaxBlockSize {
+		return fmt.Errorf("core: BlockSize must be in [1,%d], got %d", MaxBlockSize, cfg.BlockSize)
+	}
+	return nil
+}
+
+// OptimisticMatcher is the offloaded matching engine. Host-side operations
+// (PostRecv) and arrival blocks are mutually exclusive, mirroring the
+// run-to-completion handler model of the DPA; within a block up to
+// BlockSize threads match concurrently.
+type OptimisticMatcher struct {
+	cfg Config
+
+	mu sync.Mutex // serializes posts against arrival blocks
+
+	table *descriptorTable
+
+	// Posted-receive indexes, one per wildcard class (§III-B).
+	idxFull    *recvIndex // key (source, tag, comm)
+	idxSrcWild *recvIndex // key (tag, comm)
+	idxTagWild *recvIndex // key (source, comm)
+	idxBoth    *recvIndex // single chain, posting order
+
+	unexpected *unexpectedStore
+
+	nextLabel uint64
+	nextSeqID uint64
+	nextSeq   uint64 // arrival sequence for envelopes lacking one
+	lastPost  postKey
+	havePost  bool
+
+	epoch uint32 // current block epoch, tags booking bitmaps
+	block Block  // recycled arrival block (one active at a time)
+	hints hintTable
+
+	stats EngineStats
+	depth match.Stats
+}
+
+// postKey is the compatibility key of §III-D3a: consecutive receives with
+// equal keys form a sequence of compatible receives.
+type postKey struct {
+	src  match.Rank
+	tag  match.Tag
+	comm match.CommID
+}
+
+// New returns a matcher for cfg.
+func New(cfg Config) (*OptimisticMatcher, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	m := &OptimisticMatcher{
+		cfg:        cfg,
+		table:      newDescriptorTable(cfg.MaxReceives),
+		idxFull:    newRecvIndex(cfg.Bins),
+		idxSrcWild: newRecvIndex(cfg.Bins),
+		idxTagWild: newRecvIndex(cfg.Bins),
+		idxBoth:    newRecvIndex(1),
+		unexpected: newUnexpectedStore(cfg.Bins),
+	}
+	return m, nil
+}
+
+// MustNew is New for configurations known to be valid; it panics on error.
+func MustNew(cfg Config) *OptimisticMatcher {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Config returns the matcher's configuration.
+func (m *OptimisticMatcher) Config() Config { return m.cfg }
+
+// indexFor returns the posted-receive index for a wildcard class.
+func (m *OptimisticMatcher) indexFor(c match.WildcardClass) *recvIndex {
+	switch c {
+	case match.ClassNone:
+		return m.idxFull
+	case match.ClassSrcWild:
+		return m.idxSrcWild
+	case match.ClassTagWild:
+		return m.idxTagWild
+	default:
+		return m.idxBoth
+	}
+}
+
+// keyHashFor returns the index hash for a receive of class c.
+func keyHashFor(c match.WildcardClass, src match.Rank, tag match.Tag, comm match.CommID) uint64 {
+	switch c {
+	case match.ClassNone:
+		return match.HashSrcTag(src, tag, comm)
+	case match.ClassSrcWild:
+		return match.HashTag(tag, comm)
+	case match.ClassTagWild:
+		return match.HashSrc(src, comm)
+	default:
+		return 0
+	}
+}
+
+// PostRecv presents a receive to the engine (the host → DPA command of
+// §IV-E). If a stored unexpected message matches, it is returned; otherwise
+// the receive is indexed. ErrTableFull signals that the caller must fall
+// back to software matching.
+func (m *OptimisticMatcher) PostRecv(r *match.Recv) (*match.Envelope, bool, error) {
+	if err := m.checkHints(r); err != nil {
+		return nil, false, err
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	r.Label = m.nextLabel
+	m.nextLabel++
+
+	key := postKey{r.Source, r.Tag, r.Comm}
+	if !m.havePost || key != m.lastPost {
+		m.nextSeqID++
+	}
+	m.lastPost, m.havePost = key, true
+
+	// Check the unexpected store first (§IV-C): only the index matching the
+	// receive's wildcard class needs searching, because every unexpected
+	// message is indexed in all four structures.
+	env, depth := m.unexpected.takeMatch(r)
+	m.depth.PostSearches++
+	m.depth.PostTraversed += depth
+	if depth > m.depth.PostMaxDepth {
+		m.depth.PostMaxDepth = depth
+	}
+	if env != nil {
+		m.depth.Matched++
+		return env, true, nil
+	}
+
+	d := m.table.alloc()
+	if d == nil {
+		m.stats.TableFull++
+		return nil, false, ErrTableFull
+	}
+	d.recv = r
+	d.src, d.tag, d.comm = r.Source, r.Tag, r.Comm
+	d.class = r.Class()
+	d.label = r.Label
+	d.seqID = m.nextSeqID
+	d.booking.Store(0)
+	d.consumeEpoch.Store(0)
+
+	idx := m.indexFor(d.class)
+	idx.insert(d, keyHashFor(d.class, r.Source, r.Tag, r.Comm), m.cfg.LazyRemoval)
+	m.depth.Queued++
+	return nil, false, nil
+}
+
+// PeekUnexpected reports whether a stored unexpected message matches r,
+// without consuming it — the engine-side primitive behind MPI_Probe and
+// MPI_Iprobe.
+func (m *OptimisticMatcher) PeekUnexpected(r *match.Recv) (*match.Envelope, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.unexpected.peek(r)
+}
+
+// PostedDepth returns the number of live posted receives.
+func (m *OptimisticMatcher) PostedDepth() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.table.live()
+}
+
+// UnexpectedDepth returns the number of stored unexpected messages.
+func (m *OptimisticMatcher) UnexpectedDepth() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.unexpected.len()
+}
+
+// DepthStats returns cumulative search-depth statistics comparable with the
+// baselines' match.Stats.
+func (m *OptimisticMatcher) DepthStats() match.Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.depth
+}
+
+// ResetDepthStats zeroes the search-depth statistics.
+func (m *OptimisticMatcher) ResetDepthStats() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.depth = match.Stats{}
+}
+
+// EngineStats counts engine-internal events for benchmarks and ablations.
+type EngineStats struct {
+	Blocks     uint64 // arrival blocks processed
+	Messages   uint64 // messages processed
+	Optimistic uint64 // messages finalized without conflict
+	Conflicts  uint64 // messages that lost their booking
+	FastPath   uint64 // conflicts resolved via the fast path
+	SlowPath   uint64 // conflicts resolved via the slow path
+	Unexpected uint64 // messages stored as unexpected
+	Relaxed    uint64 // messages matched under allow_overtaking hints
+	TableFull  uint64 // posts rejected with ErrTableFull
+	LazySweeps uint64 // lazy-removal chain sweeps
+	LazyReaped uint64 // consumed entries unlinked by sweeps
+}
+
+// Stats returns a snapshot of the engine statistics.
+func (m *OptimisticMatcher) Stats() EngineStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// ResetStats zeroes the engine statistics.
+func (m *OptimisticMatcher) ResetStats() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats = EngineStats{}
+}
+
+// Footprint is the §IV-E DPA memory model of a configuration.
+type Footprint struct {
+	BinBytes        int // 3 tables × bins × 20 B
+	DescriptorBytes int // MaxReceives × 64 B
+}
+
+// Total returns the total modeled bytes.
+func (f Footprint) Total() int { return f.BinBytes + f.DescriptorBytes }
+
+// Occupancy reports, across the three binned posted-receive indexes, the
+// number of empty bins, the total bins, and the longest chain — the §V-A
+// "percentage of empty bins per hash table" statistic.
+func (m *OptimisticMatcher) Occupancy() (empty, total, maxChain int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, ix := range []*recvIndex{m.idxFull, m.idxSrcWild, m.idxTagWild} {
+		e, mx := ix.occupancy()
+		empty += e
+		total += ix.bins()
+		if mx > maxChain {
+			maxChain = mx
+		}
+	}
+	return empty, total, maxChain
+}
+
+// ModelFootprint computes the paper's memory model for this configuration.
+func (m *OptimisticMatcher) ModelFootprint() Footprint {
+	return Footprint{
+		BinBytes:        IndexTables * m.cfg.Bins * BinModelBytes,
+		DescriptorBytes: m.cfg.MaxReceives * DescriptorModelBytes,
+	}
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"repro/internal/match"
+)
+
+// Descriptor states. Transitions: free → posted (PostRecv), posted →
+// consumed (a matching thread's CAS — the authoritative claim), consumed →
+// free (unlink + release at block finish).
+const (
+	stateFree uint32 = iota
+	statePosted
+	stateConsumed
+)
+
+// descriptor is a receive descriptor slot (§III-B: "receive descriptors are
+// stored in a fixed-size table"). The booking word packs the current block
+// epoch in the high 32 bits and the N-bit booking bitmap in the low 32, so
+// bitmaps left over from finished blocks are invalidated without a clearing
+// sweep.
+//
+// Chain links: next is atomic because matching threads traverse chains
+// while an eager-removal peer may unlink entries; unlink never clears next,
+// so a traverser standing on an unlinked entry falls through into the rest
+// of the chain. prev is only touched under the bucket's remove lock or the
+// matcher lock.
+type descriptor struct {
+	recv  *match.Recv
+	src   match.Rank
+	tag   match.Tag
+	comm  match.CommID
+	class match.WildcardClass
+	label uint64 // posting-order label (constraint C1 across indexes)
+	seqID uint64 // compatible-sequence ID (§III-D3a fast path)
+
+	state   atomic.Uint32
+	booking atomic.Uint64 // epoch<<32 | bitmap
+
+	// consumeEpoch records the block epoch at which the descriptor was
+	// consumed; the fast-path walk uses it to distinguish entries consumed
+	// in earlier blocks (skip silently) from entries consumed by peer
+	// threads of the current block (count as taken positions).
+	consumeEpoch atomic.Uint32
+
+	next     atomic.Pointer[descriptor]
+	prev     *descriptor
+	owner    *rbucket // chain the descriptor lives in
+	slot     int32    // index in the table, -1 for none
+	unlinked bool     // set once removed from its chain
+}
+
+// bookingBits returns the bitmap if the word's epoch matches cur, else 0.
+func (d *descriptor) bookingBits(cur uint32) uint32 {
+	w := d.booking.Load()
+	if uint32(w>>32) != cur {
+		return 0
+	}
+	return uint32(w)
+}
+
+// book sets bit tid in the booking bitmap for epoch cur.
+func (d *descriptor) book(cur uint32, tid int) {
+	for {
+		w := d.booking.Load()
+		var bits uint32
+		if uint32(w>>32) == cur {
+			bits = uint32(w)
+		}
+		nw := uint64(cur)<<32 | uint64(bits|1<<uint(tid))
+		if d.booking.CompareAndSwap(w, nw) {
+			return
+		}
+	}
+}
+
+// consume attempts the authoritative posted→consumed transition, recording
+// the consuming epoch. It reports whether this caller won the descriptor.
+func (d *descriptor) consume(epoch uint32) bool {
+	if d.state.CompareAndSwap(statePosted, stateConsumed) {
+		d.consumeEpoch.Store(epoch)
+		return true
+	}
+	return false
+}
+
+// isConsumed reports whether the descriptor has been consumed.
+func (d *descriptor) isConsumed() bool { return d.state.Load() == stateConsumed }
+
+// matches reports whether the descriptor's receive matches e.
+func (d *descriptor) matches(e *match.Envelope) bool {
+	if d.comm != e.Comm {
+		return false
+	}
+	if d.src != match.AnySource && d.src != e.Source {
+		return false
+	}
+	if d.tag != match.AnyTag && d.tag != e.Tag {
+		return false
+	}
+	return true
+}
+
+// descriptorTable is the fixed-size descriptor pool (§IV-E: 64 bytes per
+// descriptor in the DPA memory model). Allocation and release run under the
+// matcher lock.
+type descriptorTable struct {
+	slots []descriptor
+	free  []int32
+	used  int
+}
+
+func newDescriptorTable(n int) *descriptorTable {
+	t := &descriptorTable{
+		slots: make([]descriptor, n),
+		free:  make([]int32, 0, n),
+	}
+	for i := n - 1; i >= 0; i-- {
+		t.slots[i].slot = int32(i)
+		t.free = append(t.free, int32(i))
+	}
+	return t
+}
+
+// alloc takes a free descriptor, or returns nil when the table is full
+// (the ErrTableFull condition).
+func (t *descriptorTable) alloc() *descriptor {
+	if len(t.free) == 0 {
+		return nil
+	}
+	i := t.free[len(t.free)-1]
+	t.free = t.free[:len(t.free)-1]
+	d := &t.slots[i]
+	d.state.Store(statePosted)
+	d.next.Store(nil)
+	d.prev = nil
+	d.owner = nil
+	d.unlinked = false
+	t.used++
+	return d
+}
+
+// release returns a consumed, unlinked descriptor to the free pool.
+func (t *descriptorTable) release(d *descriptor) {
+	d.state.Store(stateFree)
+	d.recv = nil
+	t.free = append(t.free, d.slot)
+	t.used--
+}
+
+// get returns the descriptor at slot i.
+func (t *descriptorTable) get(i int32) *descriptor { return &t.slots[i] }
+
+// live returns the number of allocated descriptors still in posted state.
+func (t *descriptorTable) live() int {
+	live := 0
+	for i := range t.slots {
+		if t.slots[i].state.Load() == statePosted {
+			live++
+		}
+	}
+	return live
+}
+
+// capacity returns the table size.
+func (t *descriptorTable) capacity() int { return len(t.slots) }

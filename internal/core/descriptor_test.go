@@ -1,0 +1,143 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/match"
+)
+
+func TestBookingEpochInvalidation(t *testing.T) {
+	var d descriptor
+	d.book(1, 3)
+	if got := d.bookingBits(1); got != 1<<3 {
+		t.Fatalf("bookingBits(1) = %b, want %b", got, 1<<3)
+	}
+	// A different epoch must see an empty bitmap without any clearing.
+	if got := d.bookingBits(2); got != 0 {
+		t.Fatalf("bookingBits(2) = %b, want 0", got)
+	}
+	// Booking in the new epoch replaces the stale word.
+	d.book(2, 0)
+	if got := d.bookingBits(2); got != 1 {
+		t.Fatalf("bookingBits(2) after rebook = %b, want 1", got)
+	}
+	if got := d.bookingBits(1); got != 0 {
+		t.Fatalf("old epoch must now read empty, got %b", got)
+	}
+}
+
+func TestBookingAccumulatesWithinEpoch(t *testing.T) {
+	var d descriptor
+	for tid := 0; tid < MaxBlockSize; tid++ {
+		d.book(7, tid)
+	}
+	if got := d.bookingBits(7); got != 0xFFFFFFFF {
+		t.Fatalf("full booking = %x, want ffffffff", got)
+	}
+}
+
+func TestBookingProperty(t *testing.T) {
+	// For any set of (epoch, tid) bookings ending with a run in one epoch,
+	// the bits visible for that epoch are exactly the union of that run.
+	f := func(tids []uint8) bool {
+		var d descriptor
+		d.book(1, 5) // stale epoch noise
+		var want uint32
+		for _, raw := range tids {
+			tid := int(raw % MaxBlockSize)
+			d.book(2, tid)
+			want |= 1 << uint(tid)
+		}
+		return d.bookingBits(2) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConsumeIsExclusive(t *testing.T) {
+	var d descriptor
+	d.state.Store(statePosted)
+	if !d.consume(4) {
+		t.Fatal("first consume must win")
+	}
+	if d.consume(4) {
+		t.Fatal("second consume must lose")
+	}
+	if !d.isConsumed() {
+		t.Fatal("descriptor must be consumed")
+	}
+	if d.consumeEpoch.Load() != 4 {
+		t.Fatalf("consumeEpoch = %d, want 4", d.consumeEpoch.Load())
+	}
+}
+
+func TestDescriptorTableAllocRelease(t *testing.T) {
+	tab := newDescriptorTable(3)
+	if tab.capacity() != 3 {
+		t.Fatalf("capacity = %d, want 3", tab.capacity())
+	}
+	a, b, c := tab.alloc(), tab.alloc(), tab.alloc()
+	if a == nil || b == nil || c == nil {
+		t.Fatal("allocation within capacity failed")
+	}
+	if tab.alloc() != nil {
+		t.Fatal("allocation beyond capacity must fail")
+	}
+	if tab.live() != 3 {
+		t.Fatalf("live = %d, want 3", tab.live())
+	}
+	b.consume(1)
+	if tab.live() != 2 {
+		t.Fatalf("live after consume = %d, want 2", tab.live())
+	}
+	tab.release(b)
+	d := tab.alloc()
+	if d == nil {
+		t.Fatal("released slot must be reusable")
+	}
+	if d.slot != b.slot {
+		t.Fatalf("reused slot %d, want %d", d.slot, b.slot)
+	}
+}
+
+func TestDescriptorMatches(t *testing.T) {
+	d := descriptor{src: match.AnySource, tag: 7, comm: 1}
+	if !d.matches(&match.Envelope{Source: 99, Tag: 7, Comm: 1}) {
+		t.Fatal("AnySource descriptor must match any source")
+	}
+	if d.matches(&match.Envelope{Source: 99, Tag: 8, Comm: 1}) {
+		t.Fatal("tag mismatch must not match")
+	}
+	if d.matches(&match.Envelope{Source: 99, Tag: 7, Comm: 2}) {
+		t.Fatal("comm mismatch must not match")
+	}
+}
+
+func TestLowestBit(t *testing.T) {
+	cases := []struct {
+		v    uint32
+		want int
+	}{{0, 64}, {1, 0}, {0b1000, 3}, {0b1010, 1}, {1 << 31, 31}}
+	for _, c := range cases {
+		if got := lowestBit(c.v); got != c.want {
+			t.Errorf("lowestBit(%b) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestPathString(t *testing.T) {
+	names := map[Path]string{
+		PathOptimistic: "optimistic",
+		PathFast:       "fast",
+		PathSlow:       "slow",
+		PathUnexpected: "unexpected",
+		Path(99):       "Path(99)",
+	}
+	for p, want := range names {
+		if got := p.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", p, got, want)
+		}
+	}
+}

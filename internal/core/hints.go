@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/match"
+)
+
+// Hints are the per-communicator matching assertions of §VII: MPI 4.0 lets
+// applications declare, through communicator info keys, that certain
+// matching generality will not be used, and the paper proposes propagating
+// them to the offloaded engine to cut matching costs.
+type Hints struct {
+	// NoAnySource asserts that no receive on this communicator uses
+	// MPI_ANY_SOURCE (mpi_assert_no_any_source): the source-wildcard index
+	// is never searched for its messages.
+	NoAnySource bool
+	// NoAnyTag asserts that no receive uses MPI_ANY_TAG
+	// (mpi_assert_no_any_tag): the tag-wildcard index is never searched.
+	NoAnyTag bool
+	// AllowOvertaking relaxes the C1/C2 ordering constraints
+	// (mpi_assert_allow_overtaking): any matching receive may complete any
+	// matching message, so conflicted threads grab the next available
+	// receive without ordering synchronization.
+	AllowOvertaking bool
+}
+
+// NoWildcards is the combined assertion that no wildcard receives will be
+// posted at all.
+func (h Hints) NoWildcards() bool { return h.NoAnySource && h.NoAnyTag }
+
+// String implements fmt.Stringer.
+func (h Hints) String() string {
+	return fmt.Sprintf("hints{noAnySrc=%v noAnyTag=%v allowOvertaking=%v}",
+		h.NoAnySource, h.NoAnyTag, h.AllowOvertaking)
+}
+
+// hintTable stores per-communicator hints with cheap concurrent reads.
+type hintTable struct {
+	mu sync.RWMutex
+	m  map[match.CommID]Hints
+}
+
+func (t *hintTable) get(comm match.CommID) Hints {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.m[comm] // zero value: no assertions
+}
+
+func (t *hintTable) set(comm match.CommID, h Hints) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.m == nil {
+		t.m = make(map[match.CommID]Hints)
+	}
+	t.m[comm] = h
+}
+
+// ErrHintViolation is returned by PostRecv when a receive contradicts the
+// communicator's assertions — the program is erroneous under MPI semantics.
+var ErrHintViolation = fmt.Errorf("core: receive violates communicator hints")
+
+// SetCommHints installs matching assertions for a communicator. Install
+// hints before posting receives or delivering messages on the
+// communicator; they are not retroactive.
+func (m *OptimisticMatcher) SetCommHints(comm match.CommID, h Hints) {
+	m.hints.set(comm, h)
+}
+
+// CommHints returns the hints installed for a communicator.
+func (m *OptimisticMatcher) CommHints(comm match.CommID) Hints {
+	return m.hints.get(comm)
+}
+
+// checkHints validates a receive against its communicator's assertions.
+func (m *OptimisticMatcher) checkHints(r *match.Recv) error {
+	h := m.hints.get(r.Comm)
+	if h.NoAnySource && r.Source == match.AnySource {
+		return fmt.Errorf("%w: AnySource receive on comm %d asserted no_any_source", ErrHintViolation, r.Comm)
+	}
+	if h.NoAnyTag && r.Tag == match.AnyTag {
+		return fmt.Errorf("%w: AnyTag receive on comm %d asserted no_any_tag", ErrHintViolation, r.Comm)
+	}
+	return nil
+}

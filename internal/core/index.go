@@ -1,0 +1,134 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/match"
+)
+
+// rbucket is one bin of a posted-receive index: a remove lock plus head and
+// tail of a posting-ordered chain (§IV-E accounts it at 20 bytes: 4-byte
+// lock + two 8-byte pointers). The head pointer is atomic because matching
+// threads traverse the chain while an eager-removal peer may unlink the
+// head entry.
+type rbucket struct {
+	mu   sync.Mutex
+	head atomic.Pointer[descriptor]
+	tail *descriptor // maintained under the matcher lock (inserts) only
+	n    int         // live entries; maintained at insert/unlink
+}
+
+// recvIndex is one of the four §III-B posted-receive indexes: a hash table
+// of rbuckets (or a single chain for the both-wildcard class).
+type recvIndex struct {
+	buckets []rbucket
+}
+
+func newRecvIndex(bins int) *recvIndex {
+	return &recvIndex{buckets: make([]rbucket, bins)}
+}
+
+func (ix *recvIndex) bucketFor(hash uint64) *rbucket {
+	return &ix.buckets[hash%uint64(len(ix.buckets))]
+}
+
+// insert appends d at the tail of its bucket chain. Chains are posting-
+// ordered because PostRecv runs under the matcher lock. The lazy parameter
+// is accepted for symmetry with unlink policies; insertion itself is
+// identical in both modes.
+func (ix *recvIndex) insert(d *descriptor, hash uint64, lazy bool) {
+	_ = lazy
+	b := ix.bucketFor(hash)
+	d.owner = b
+	if b.tail == nil {
+		b.head.Store(d)
+	} else {
+		d.prev = b.tail
+		b.tail.next.Store(d)
+	}
+	b.tail = d
+	b.n++
+}
+
+// unlink removes d from its chain. The caller must hold either the bucket's
+// remove lock (eager removal inside a block) or the matcher lock (host-side
+// and block-finish sweeps). d.next is preserved so concurrent traversers
+// standing on d fall through to the remainder of the chain.
+func unlink(d *descriptor) {
+	b := d.owner
+	if b == nil || d.unlinked {
+		return
+	}
+	next := d.next.Load()
+	if d.prev == nil {
+		b.head.Store(next)
+	} else {
+		d.prev.next.Store(next)
+	}
+	if next == nil {
+		b.tail = d.prev
+	} else {
+		next.prev = d.prev
+	}
+	d.unlinked = true
+	b.n--
+}
+
+// eagerUnlink removes d under its bucket's remove lock; this is the
+// serialization the §IV-D lazy-removal optimization avoids.
+func eagerUnlink(d *descriptor) {
+	b := d.owner
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	unlink(d)
+	b.mu.Unlock()
+}
+
+// search walks the chain for hash and returns the oldest posted descriptor
+// matching e, plus the number of entries examined. With earlyCheck enabled,
+// entries already booked in the current epoch by a lower-numbered thread
+// are skipped (§IV-D "early booking check"): the booking invariant
+// guarantees such entries will be consumed within this block.
+func (ix *recvIndex) search(e *match.Envelope, hash uint64, tid int, epoch uint32, earlyCheck bool) (*descriptor, uint64) {
+	var traversed uint64
+	lower := uint32(1)<<uint(tid) - 1
+	for d := ix.bucketFor(hash).head.Load(); d != nil; d = d.next.Load() {
+		if d.isConsumed() {
+			traversed++
+			continue
+		}
+		if !d.matches(e) {
+			traversed++
+			continue
+		}
+		if earlyCheck && d.bookingBits(epoch)&lower != 0 {
+			traversed++
+			continue
+		}
+		// The matched entry itself is not charged: "queue depth" counts the
+		// elements searched through before the match (which is what lets the
+		// Figure 7 averages drop below one as bins multiply).
+		return d, traversed
+	}
+	return nil, traversed
+}
+
+// occupancy reports the number of empty bins and the maximum chain length.
+func (ix *recvIndex) occupancy() (empty, maxChain int) {
+	for i := range ix.buckets {
+		n := ix.buckets[i].n
+		if n == 0 {
+			empty++
+		}
+		if n > maxChain {
+			maxChain = n
+		}
+	}
+	return empty, maxChain
+}
+
+// bins returns the bucket count.
+func (ix *recvIndex) bins() int { return len(ix.buckets) }

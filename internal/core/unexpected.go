@@ -1,0 +1,212 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/match"
+)
+
+// unexpectedStore keeps messages that arrived before a matching receive was
+// posted. Mirroring §IV-C, each message is indexed in all four structures —
+// a (source,tag)-keyed table, a tag-keyed table, a source-keyed table, and
+// a global arrival-ordered list — so that a newly posted receive searches
+// only the single index that corresponds to its wildcard class. All chains
+// are kept sorted by arrival sequence so the oldest matching message is
+// always found first (constraint C2).
+type unexpectedStore struct {
+	mu   sync.Mutex
+	bins int
+
+	bySrcTag []uchain // key (source, tag, comm): searched by ClassNone receives
+	byTag    []uchain // key (tag, comm): searched by ClassSrcWild receives
+	bySrc    []uchain // key (source, comm): searched by ClassTagWild receives
+	all      uchain   // arrival order: searched by ClassBothWild receives
+
+	n int
+}
+
+// structure indices into uentry.links.
+const (
+	linkSrcTag = iota
+	linkTag
+	linkSrc
+	linkAll
+	numLinks
+)
+
+// uentry is one stored unexpected message, threaded on all four structures.
+type uentry struct {
+	env   *match.Envelope
+	links [numLinks]ulink
+	chain [numLinks]*uchain
+}
+
+type ulink struct {
+	next, prev *uentry
+}
+
+// uchain is a doubly linked, arrival-ordered chain for one structure slot.
+type uchain struct {
+	head, tail *uentry
+	n          int
+}
+
+// insertSorted places e so that the chain stays ordered by Envelope.Seq.
+// Blocks finalize unexpected messages concurrently and slightly out of
+// order, but always within one block of each other, so the backward walk
+// from the tail is short.
+func (c *uchain) insertSorted(e *uentry, li int) {
+	pos := c.tail
+	for pos != nil && pos.env.Seq > e.env.Seq {
+		pos = pos.links[li].prev
+	}
+	if pos == nil { // new head
+		e.links[li].next = c.head
+		if c.head != nil {
+			c.head.links[li].prev = e
+		} else {
+			c.tail = e
+		}
+		c.head = e
+	} else {
+		e.links[li].prev = pos
+		e.links[li].next = pos.links[li].next
+		if pos.links[li].next != nil {
+			pos.links[li].next.links[li].prev = e
+		} else {
+			c.tail = e
+		}
+		pos.links[li].next = e
+	}
+	c.n++
+}
+
+// remove unlinks e from the chain for structure li.
+func (c *uchain) remove(e *uentry, li int) {
+	l := e.links[li]
+	if l.prev == nil {
+		c.head = l.next
+	} else {
+		l.prev.links[li].next = l.next
+	}
+	if l.next == nil {
+		c.tail = l.prev
+	} else {
+		l.next.links[li].prev = l.prev
+	}
+	e.links[li] = ulink{}
+	c.n--
+}
+
+func newUnexpectedStore(bins int) *unexpectedStore {
+	return &unexpectedStore{
+		bins:     bins,
+		bySrcTag: make([]uchain, bins),
+		byTag:    make([]uchain, bins),
+		bySrc:    make([]uchain, bins),
+	}
+}
+
+// insert stores e in all four structures. Safe for concurrent use.
+func (s *unexpectedStore) insert(env *match.Envelope) {
+	e := &uentry{env: env}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	c := &s.bySrcTag[match.HashSrcTag(env.Source, env.Tag, env.Comm)%uint64(s.bins)]
+	e.chain[linkSrcTag] = c
+	c.insertSorted(e, linkSrcTag)
+
+	c = &s.byTag[match.HashTag(env.Tag, env.Comm)%uint64(s.bins)]
+	e.chain[linkTag] = c
+	c.insertSorted(e, linkTag)
+
+	c = &s.bySrc[match.HashSrc(env.Source, env.Comm)%uint64(s.bins)]
+	e.chain[linkSrc] = c
+	c.insertSorted(e, linkSrc)
+
+	e.chain[linkAll] = &s.all
+	s.all.insertSorted(e, linkAll)
+
+	s.n++
+}
+
+// takeMatch searches the single structure matching r's wildcard class for
+// the oldest matching message; on a hit the message is unlinked from all
+// four structures. It returns the envelope (nil for no match) and the
+// number of entries examined.
+func (s *unexpectedStore) takeMatch(r *match.Recv) (*match.Envelope, uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	var c *uchain
+	var li int
+	switch r.Class() {
+	case match.ClassNone:
+		c = &s.bySrcTag[match.HashSrcTag(r.Source, r.Tag, r.Comm)%uint64(s.bins)]
+		li = linkSrcTag
+	case match.ClassSrcWild:
+		c = &s.byTag[match.HashTag(r.Tag, r.Comm)%uint64(s.bins)]
+		li = linkTag
+	case match.ClassTagWild:
+		c = &s.bySrc[match.HashSrc(r.Source, r.Comm)%uint64(s.bins)]
+		li = linkSrc
+	default:
+		c = &s.all
+		li = linkAll
+	}
+
+	var depth uint64
+	for e := c.head; e != nil; e = e.links[li].next {
+		if r.Matches(e.env) {
+			s.removeAll(e)
+			return e.env, depth
+		}
+		depth++
+	}
+	return nil, depth
+}
+
+// peek returns the oldest matching message without removing it.
+func (s *unexpectedStore) peek(r *match.Recv) (*match.Envelope, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	var c *uchain
+	var li int
+	switch r.Class() {
+	case match.ClassNone:
+		c = &s.bySrcTag[match.HashSrcTag(r.Source, r.Tag, r.Comm)%uint64(s.bins)]
+		li = linkSrcTag
+	case match.ClassSrcWild:
+		c = &s.byTag[match.HashTag(r.Tag, r.Comm)%uint64(s.bins)]
+		li = linkTag
+	case match.ClassTagWild:
+		c = &s.bySrc[match.HashSrc(r.Source, r.Comm)%uint64(s.bins)]
+		li = linkSrc
+	default:
+		c = &s.all
+		li = linkAll
+	}
+	for e := c.head; e != nil; e = e.links[li].next {
+		if r.Matches(e.env) {
+			return e.env, true
+		}
+	}
+	return nil, false
+}
+
+// removeAll unlinks e from every structure. Caller holds s.mu.
+func (s *unexpectedStore) removeAll(e *uentry) {
+	for li := 0; li < numLinks; li++ {
+		e.chain[li].remove(e, li)
+	}
+	s.n--
+}
+
+// len returns the number of stored messages.
+func (s *unexpectedStore) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/match"
+)
+
+func TestUnexpectedQuadrupleIndexing(t *testing.T) {
+	s := newUnexpectedStore(16)
+	s.insert(&match.Envelope{Source: 3, Tag: 9, Seq: 1})
+	if s.len() != 1 {
+		t.Fatalf("len = %d, want 1", s.len())
+	}
+	// Each wildcard class of receive must find the same single message.
+	classes := []*match.Recv{
+		{Source: 3, Tag: 9},
+		{Source: match.AnySource, Tag: 9},
+		{Source: 3, Tag: match.AnyTag},
+		{Source: match.AnySource, Tag: match.AnyTag},
+	}
+	for _, r := range classes {
+		s2 := newUnexpectedStore(16)
+		s2.insert(&match.Envelope{Source: 3, Tag: 9, Seq: 1})
+		env, _ := s2.takeMatch(r)
+		if env == nil {
+			t.Fatalf("class %v did not find the message", r.Class())
+		}
+		if s2.len() != 0 {
+			t.Fatalf("class %v: message not removed from all indexes", r.Class())
+		}
+	}
+}
+
+func TestUnexpectedRemoveFromAllStructures(t *testing.T) {
+	s := newUnexpectedStore(16)
+	s.insert(&match.Envelope{Source: 1, Tag: 1, Seq: 1})
+	s.insert(&match.Envelope{Source: 1, Tag: 2, Seq: 2})
+	// Take the first via the full-key index.
+	if env, _ := s.takeMatch(&match.Recv{Source: 1, Tag: 1}); env == nil {
+		t.Fatal("full-key take failed")
+	}
+	// The removed message must be invisible to every other index.
+	if env, _ := s.takeMatch(&match.Recv{Source: match.AnySource, Tag: 1}); env != nil {
+		t.Fatal("removed message still visible in tag index")
+	}
+	if env, _ := s.takeMatch(&match.Recv{Source: 1, Tag: match.AnyTag}); env == nil || env.Seq != 2 {
+		t.Fatal("source index returned the wrong message")
+	}
+	if s.len() != 0 {
+		t.Fatalf("len = %d, want 0", s.len())
+	}
+}
+
+func TestUnexpectedSortedInsertOutOfOrder(t *testing.T) {
+	// Blocks can finalize unexpected messages slightly out of order; the
+	// chains must still end up sequence-sorted.
+	s := newUnexpectedStore(8)
+	for _, seq := range []uint64{3, 1, 4, 2, 5} {
+		s.insert(&match.Envelope{Source: 1, Tag: 1, Seq: seq})
+	}
+	for want := uint64(1); want <= 5; want++ {
+		env, _ := s.takeMatch(&match.Recv{Source: match.AnySource, Tag: match.AnyTag})
+		if env == nil || env.Seq != want {
+			t.Fatalf("takeMatch returned seq %v, want %d", env, want)
+		}
+	}
+}
+
+func TestUnexpectedDepthCounting(t *testing.T) {
+	s := newUnexpectedStore(1) // single bin: worst-case chains
+	for i := 1; i <= 5; i++ {
+		s.insert(&match.Envelope{Source: 9, Tag: match.Tag(i), Seq: uint64(i)})
+	}
+	// A full-key receive for the last message walks past the four earlier
+	// entries (the matched one is not charged).
+	_, depth := s.takeMatch(&match.Recv{Source: 9, Tag: 5})
+	if depth != 4 {
+		t.Fatalf("depth = %d, want 4", depth)
+	}
+	// No match still reports the traversal cost.
+	_, depth = s.takeMatch(&match.Recv{Source: 9, Tag: 99})
+	if depth != 4 {
+		t.Fatalf("miss depth = %d, want 4", depth)
+	}
+}
+
+func TestUnexpectedConcurrentInsert(t *testing.T) {
+	s := newUnexpectedStore(32)
+	var wg sync.WaitGroup
+	const n = 64
+	for i := 1; i <= n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s.insert(&match.Envelope{Source: match.Rank(i % 4), Tag: 1, Seq: uint64(i)})
+		}(i)
+	}
+	wg.Wait()
+	if s.len() != n {
+		t.Fatalf("len = %d, want %d", s.len(), n)
+	}
+	// Wildcard receives must drain in sequence order regardless of the
+	// insertion interleaving.
+	last := uint64(0)
+	for i := 0; i < n; i++ {
+		env, _ := s.takeMatch(&match.Recv{Source: match.AnySource, Tag: match.AnyTag})
+		if env == nil {
+			t.Fatalf("drain stopped early at %d", i)
+		}
+		if env.Seq <= last {
+			t.Fatalf("order violated: %d after %d", env.Seq, last)
+		}
+		last = env.Seq
+	}
+}
+
+func TestUnexpectedCommIsolation(t *testing.T) {
+	s := newUnexpectedStore(8)
+	s.insert(&match.Envelope{Source: 1, Tag: 1, Comm: 5, Seq: 1})
+	if env, _ := s.takeMatch(&match.Recv{Source: 1, Tag: 1, Comm: 6}); env != nil {
+		t.Fatal("matched across communicators")
+	}
+	if env, _ := s.takeMatch(&match.Recv{Source: match.AnySource, Tag: match.AnyTag, Comm: 5}); env == nil {
+		t.Fatal("same-comm wildcard should match")
+	}
+}
+
+func TestUnexpectedPeek(t *testing.T) {
+	s := newUnexpectedStore(8)
+	s.insert(&match.Envelope{Source: 4, Tag: 2, Seq: 1})
+	// Peek finds without consuming, across classes.
+	for _, r := range []*match.Recv{
+		{Source: 4, Tag: 2},
+		{Source: match.AnySource, Tag: 2},
+		{Source: 4, Tag: match.AnyTag},
+		{Source: match.AnySource, Tag: match.AnyTag},
+	} {
+		env, ok := s.peek(r)
+		if !ok || env.Seq != 1 {
+			t.Fatalf("peek class %v failed", r.Class())
+		}
+	}
+	if s.len() != 1 {
+		t.Fatal("peek consumed the message")
+	}
+	if _, ok := s.peek(&match.Recv{Source: 9, Tag: 9}); ok {
+		t.Fatal("peek invented a message")
+	}
+}

@@ -1,0 +1,206 @@
+// Package dpa simulates the Data Path Accelerator of the BlueField-3 DPU
+// (§II-C): a pool of lightweight execution units running handlers to
+// completion, with fast access to NIC resources and a small on-NIC memory
+// hosting bounce buffers and the matching data structures.
+//
+// Substitution note (see DESIGN.md): the real DPA has 16 cores and 256
+// hardware threads programmed through DOCA; what the matching algorithm
+// actually depends on is the execution model — N parallel run-to-completion
+// handlers triggered by completion-queue entries, polling in the strided
+// pattern of §IV-A — and a bounded memory budget. Both are modeled here;
+// handler bodies run as goroutines pinned to logical thread IDs.
+package dpa
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// BlueField-3 DPA memory hierarchy (§IV-E).
+const (
+	// L2CacheBytes is the BF3 DPA L2 cache size (1.5 MiB).
+	L2CacheBytes = 3 * 512 * 1024
+	// L3CacheBytes is the BF3 DPA L3 cache size (3 MiB).
+	L3CacheBytes = 3 * 1024 * 1024
+	// DefaultThreads matches the paper's prototype (32 DPA threads,
+	// "limited by the bookkeeping bitmap size").
+	DefaultThreads = 32
+	// MaxThreads is the BF3 hardware thread count.
+	MaxThreads = 256
+)
+
+// ErrOutOfMemory is returned when an arena allocation exceeds capacity; the
+// caller is expected to fall back to host (software) handling, as §IV-E
+// prescribes when the DPA runs out of resources.
+var ErrOutOfMemory = errors.New("dpa: out of NIC memory")
+
+// Arena is a bounded NIC-memory allocator with usage accounting. It backs
+// bounce buffers, unexpected-message storage, and table budgeting.
+type Arena struct {
+	mu       sync.Mutex
+	capacity int
+	used     int
+	peak     int
+}
+
+// NewArena returns an arena with the given capacity in bytes.
+func NewArena(capacity int) *Arena {
+	return &Arena{capacity: capacity}
+}
+
+// Allocation is a chunk of NIC memory; call Release when done.
+type Allocation struct {
+	Bytes []byte
+	arena *Arena
+	freed bool
+}
+
+// Alloc reserves n bytes, or fails with ErrOutOfMemory.
+func (a *Arena) Alloc(n int) (*Allocation, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("dpa: negative allocation %d", n)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.used+n > a.capacity {
+		return nil, ErrOutOfMemory
+	}
+	a.used += n
+	if a.used > a.peak {
+		a.peak = a.used
+	}
+	return &Allocation{Bytes: make([]byte, n), arena: a}, nil
+}
+
+// Release returns the allocation's bytes to the arena. Releasing twice is
+// a no-op.
+func (al *Allocation) Release() {
+	if al.freed || al.arena == nil {
+		return
+	}
+	al.freed = true
+	al.arena.mu.Lock()
+	al.arena.used -= len(al.Bytes)
+	al.arena.mu.Unlock()
+}
+
+// Used returns the bytes currently allocated.
+func (a *Arena) Used() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.used
+}
+
+// Peak returns the high-water mark.
+func (a *Arena) Peak() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.peak
+}
+
+// Capacity returns the configured capacity.
+func (a *Arena) Capacity() int { return a.capacity }
+
+// Accelerator is the simulated DPA: a fixed pool of execution units that
+// run handler activations to completion.
+type Accelerator struct {
+	threads int
+	arena   *Arena
+
+	work chan task
+	wg   sync.WaitGroup
+
+	activations atomic.Uint64
+	closed      atomic.Bool
+}
+
+type task struct {
+	tid int
+	fn  func(tid int)
+	wg  *sync.WaitGroup
+}
+
+// Config parameterizes the simulated device.
+type Config struct {
+	// Threads is the number of execution units (default DefaultThreads).
+	Threads int
+	// MemoryBytes is the NIC memory capacity (default L3CacheBytes).
+	MemoryBytes int
+}
+
+// New starts an accelerator.
+func New(cfg Config) (*Accelerator, error) {
+	if cfg.Threads == 0 {
+		cfg.Threads = DefaultThreads
+	}
+	if cfg.Threads < 1 || cfg.Threads > MaxThreads {
+		return nil, fmt.Errorf("dpa: Threads must be in [1,%d], got %d", MaxThreads, cfg.Threads)
+	}
+	if cfg.MemoryBytes == 0 {
+		cfg.MemoryBytes = L3CacheBytes
+	}
+	a := &Accelerator{
+		threads: cfg.Threads,
+		arena:   NewArena(cfg.MemoryBytes),
+		work:    make(chan task),
+	}
+	for i := 0; i < cfg.Threads; i++ {
+		a.wg.Add(1)
+		go a.worker()
+	}
+	return a, nil
+}
+
+// MustNew is New for known-valid configurations.
+func MustNew(cfg Config) *Accelerator {
+	a, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// worker executes handler activations to completion, one at a time — the
+// DPA's run-to-completion discipline.
+func (a *Accelerator) worker() {
+	defer a.wg.Done()
+	for t := range a.work {
+		t.fn(t.tid)
+		a.activations.Add(1)
+		t.wg.Done()
+	}
+}
+
+// RunBlock executes fn(0) … fn(n-1) concurrently on the pool and waits for
+// all of them — one activation per message of a matching block. n may not
+// exceed the thread count.
+func (a *Accelerator) RunBlock(n int, fn func(tid int)) {
+	if n > a.threads {
+		panic(fmt.Sprintf("dpa: RunBlock(%d) exceeds %d threads", n, a.threads))
+	}
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for tid := 0; tid < n; tid++ {
+		a.work <- task{tid: tid, fn: fn, wg: &wg}
+	}
+	wg.Wait()
+}
+
+// Threads returns the execution-unit count.
+func (a *Accelerator) Threads() int { return a.threads }
+
+// Arena returns the device memory arena.
+func (a *Accelerator) Arena() *Arena { return a.arena }
+
+// Activations returns the number of handler activations executed.
+func (a *Accelerator) Activations() uint64 { return a.activations.Load() }
+
+// Close stops the workers. RunBlock must not be called afterwards.
+func (a *Accelerator) Close() {
+	if a.closed.CompareAndSwap(false, true) {
+		close(a.work)
+		a.wg.Wait()
+	}
+}

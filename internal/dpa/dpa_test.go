@@ -1,0 +1,194 @@
+package dpa
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/match"
+	"repro/internal/rdma"
+)
+
+func TestArenaAccounting(t *testing.T) {
+	a := NewArena(1024)
+	al1, err := a.Alloc(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	al2, err := a.Alloc(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Alloc(1); err != ErrOutOfMemory {
+		t.Fatalf("over-capacity alloc: %v", err)
+	}
+	if a.Used() != 1024 || a.Peak() != 1024 {
+		t.Fatalf("used=%d peak=%d", a.Used(), a.Peak())
+	}
+	al1.Release()
+	al1.Release() // double release is a no-op
+	if a.Used() != 512 {
+		t.Fatalf("used after release = %d", a.Used())
+	}
+	if a.Peak() != 1024 {
+		t.Fatalf("peak must persist, got %d", a.Peak())
+	}
+	al2.Release()
+	if a.Capacity() != 1024 {
+		t.Fatalf("capacity = %d", a.Capacity())
+	}
+	if _, err := a.Alloc(-1); err == nil {
+		t.Fatal("negative alloc accepted")
+	}
+}
+
+func TestAcceleratorRunBlock(t *testing.T) {
+	acc := MustNew(Config{Threads: 8})
+	defer acc.Close()
+	var seen [8]atomic.Bool
+	acc.RunBlock(8, func(tid int) { seen[tid].Store(true) })
+	for tid := range seen {
+		if !seen[tid].Load() {
+			t.Fatalf("thread %d never ran", tid)
+		}
+	}
+	if acc.Activations() != 8 {
+		t.Fatalf("activations = %d, want 8", acc.Activations())
+	}
+	if acc.Threads() != 8 {
+		t.Fatalf("threads = %d", acc.Threads())
+	}
+}
+
+func TestAcceleratorRunBlockTooWide(t *testing.T) {
+	acc := MustNew(Config{Threads: 2})
+	defer acc.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RunBlock beyond thread count must panic")
+		}
+	}()
+	acc.RunBlock(3, func(int) {})
+}
+
+func TestAcceleratorConfigValidation(t *testing.T) {
+	if _, err := New(Config{Threads: -1}); err == nil {
+		t.Fatal("negative threads accepted")
+	}
+	if _, err := New(Config{Threads: MaxThreads + 1}); err == nil {
+		t.Fatal("too many threads accepted")
+	}
+	a, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if a.Threads() != DefaultThreads {
+		t.Fatalf("default threads = %d", a.Threads())
+	}
+	if a.Arena().Capacity() != L3CacheBytes {
+		t.Fatalf("default memory = %d", a.Arena().Capacity())
+	}
+	a.Close() // double close is safe
+}
+
+func TestAcceleratorParallelismWithinBlock(t *testing.T) {
+	// All block threads must be live simultaneously (the matching engine's
+	// partial barrier requires it): have every thread wait for all others.
+	acc := MustNew(Config{Threads: 16})
+	defer acc.Close()
+	var mu sync.Mutex
+	waiting := 0
+	cond := sync.NewCond(&mu)
+	acc.RunBlock(16, func(tid int) {
+		mu.Lock()
+		waiting++
+		if waiting == 16 {
+			cond.Broadcast()
+		} else {
+			for waiting < 16 {
+				cond.Wait()
+			}
+		}
+		mu.Unlock()
+	})
+}
+
+// TestPipelineEndToEnd drives RDMA completions through the pipeline and
+// checks matches and unexpected handling.
+func TestPipelineEndToEnd(t *testing.T) {
+	acc := MustNew(Config{Threads: 8})
+	defer acc.Close()
+	matcher := core.MustNew(core.Config{
+		Bins: 64, MaxReceives: 256, BlockSize: 8,
+		EarlyBookingCheck: true, LazyRemoval: true, UseInlineHashes: true,
+	})
+	cq := rdma.NewCQ()
+	p := NewPipeline(acc, matcher, cq)
+
+	type outcome struct {
+		matched bool
+		src     match.Rank
+	}
+	var mu sync.Mutex
+	outcomes := make(map[uint64]outcome)
+
+	p.Decode = func(c rdma.Completion) *match.Envelope {
+		return &match.Envelope{Source: match.Rank(c.Imm >> 16), Tag: match.Tag(c.Imm & 0xffff)}
+	}
+	p.Handle = func(tid int, res core.Result, c rdma.Completion) {
+		mu.Lock()
+		outcomes[res.Env.Seq] = outcome{matched: !res.Unexpected, src: res.Env.Source}
+		mu.Unlock()
+	}
+	p.Start()
+
+	// Post receives for sources 0..3, tag 5; sources 4..7 will be unexpected.
+	for src := 0; src < 4; src++ {
+		if _, _, err := matcher.PostRecv(&match.Recv{Source: match.Rank(src), Tag: 5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for src := 0; src < 8; src++ {
+		cq.Push(rdma.Completion{Op: rdma.OpRecv, Imm: uint32(src<<16 | 5)})
+	}
+	// Wait until all eight messages are processed, then stop.
+	for p.Messages() < 8 {
+	}
+	p.Stop()
+
+	if p.Blocks() == 0 || p.Messages() != 8 {
+		t.Fatalf("blocks=%d messages=%d", p.Blocks(), p.Messages())
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(outcomes) != 8 {
+		t.Fatalf("outcomes = %d, want 8", len(outcomes))
+	}
+	for _, o := range outcomes {
+		if o.src < 4 && !o.matched {
+			t.Fatalf("source %d should have matched", o.src)
+		}
+		if o.src >= 4 && o.matched {
+			t.Fatalf("source %d should be unexpected", o.src)
+		}
+	}
+	if matcher.UnexpectedDepth() != 4 {
+		t.Fatalf("unexpected depth = %d, want 4", matcher.UnexpectedDepth())
+	}
+}
+
+func TestPipelineRequiresCallbacks(t *testing.T) {
+	acc := MustNew(Config{Threads: 2})
+	defer acc.Close()
+	matcher := core.MustNew(core.Config{Bins: 4, MaxReceives: 4, BlockSize: 2,
+		LazyRemoval: true})
+	p := NewPipeline(acc, matcher, rdma.NewCQ())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Start without callbacks must panic")
+		}
+	}()
+	p.Start()
+}

@@ -1,0 +1,133 @@
+package dpa
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/match"
+	"repro/internal/rdma"
+)
+
+// Pipeline is the offloaded tag-matching datapath of §IV: it drains a
+// receive completion queue in blocks of consecutive messages, runs one
+// handler activation per message on the accelerator (each performing the
+// optimistic match), and hands every result to a protocol callback that
+// executes the eager copy, the rendezvous read, or unexpected-message
+// storage — all without host involvement.
+type Pipeline struct {
+	acc     *Accelerator
+	matcher *core.OptimisticMatcher
+	cq      *rdma.CQ
+
+	// Decode converts a receive completion (header + bounce buffer) into a
+	// matching envelope. It runs on a DPA thread.
+	Decode func(c rdma.Completion) *match.Envelope
+	// Handle executes protocol handling for one match result on a DPA
+	// thread: eager copy to the user buffer, rendezvous RDMA read, or
+	// unexpected-message stabilization (copying the payload out of the
+	// bounce buffer before it is reposted).
+	Handle func(tid int, res core.Result, c rdma.Completion)
+	// Classify, when set, reports whether a completion carries a message
+	// that needs matching. Completions classified false (protocol control
+	// traffic such as rendezvous acknowledgements) are passed to Control
+	// instead of entering a matching block.
+	Classify func(c rdma.Completion) bool
+	// Control handles non-matching completions; required when Classify is set.
+	Control func(c rdma.Completion)
+
+	cursor   uint64
+	stopOnce sync.Once
+	done     chan struct{}
+	wg       sync.WaitGroup
+
+	blocks   atomic.Uint64
+	messages atomic.Uint64
+}
+
+// NewPipeline wires a pipeline; call Start to begin draining.
+func NewPipeline(acc *Accelerator, m *core.OptimisticMatcher, cq *rdma.CQ) *Pipeline {
+	return &Pipeline{acc: acc, matcher: m, cq: cq, done: make(chan struct{})}
+}
+
+// Start launches the block-forming loop. Decode and Handle must be set.
+func (p *Pipeline) Start() {
+	if p.Decode == nil || p.Handle == nil {
+		panic("dpa: Pipeline requires Decode and Handle")
+	}
+	if p.Classify != nil && p.Control == nil {
+		panic("dpa: Pipeline with Classify requires Control")
+	}
+	p.wg.Add(1)
+	go p.run()
+}
+
+// Stop terminates the loop once the CQ closes or immediately if idle, and
+// waits for in-flight blocks to finish.
+func (p *Pipeline) Stop() {
+	p.stopOnce.Do(func() { close(p.done) })
+	p.cq.Close()
+	p.wg.Wait()
+}
+
+// Blocks returns the number of matching blocks processed.
+func (p *Pipeline) Blocks() uint64 { return p.blocks.Load() }
+
+// Messages returns the number of messages processed.
+func (p *Pipeline) Messages() uint64 { return p.messages.Load() }
+
+// run forms blocks: it blocks for the next completion, then opportunistically
+// folds in whatever further completions are already available, up to the
+// matcher's block size (the stream-of-blocks model of §III-A).
+func (p *Pipeline) run() {
+	defer p.wg.Done()
+	blockSize := p.matcher.Config().BlockSize
+	for {
+		first, ok := p.cq.WaitIndex(p.cursor)
+		if !ok {
+			return
+		}
+		gathered := []rdma.Completion{first}
+		for len(gathered) < blockSize {
+			c, ok := p.cq.Poll(p.cursor + uint64(len(gathered)))
+			if !ok {
+				break
+			}
+			gathered = append(gathered, c)
+		}
+
+		// Control traffic (e.g. rendezvous ACKs) bypasses matching.
+		comps := gathered[:0:0]
+		for _, c := range gathered {
+			if p.Classify != nil && !p.Classify(c) {
+				p.Control(c)
+				continue
+			}
+			comps = append(comps, c)
+		}
+
+		if n := len(comps); n > 0 {
+			blk := p.matcher.BeginBlock(n)
+			p.acc.RunBlock(n, func(tid int) {
+				env := p.Decode(comps[tid])
+				res := blk.Match(tid, env)
+				p.Handle(tid, res, comps[tid])
+			})
+			blk.Finish()
+			p.blocks.Add(1)
+			p.messages.Add(uint64(n))
+		}
+
+		p.cursor += uint64(len(gathered))
+		p.cq.Trim(p.cursor)
+
+		select {
+		case <-p.done:
+			// Drain whatever is still immediately available, then exit.
+			if _, ok := p.cq.Poll(p.cursor); !ok {
+				return
+			}
+		default:
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package dpa
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/match"
+	"repro/internal/rdma"
+)
+
+// SPINPipeline maps optimistic tag matching onto a sPIN-style streaming
+// accelerator (§IV: "this approach can be also mapped onto other
+// programmable on-NIC accelerators, like sPIN"). Where the DPA model runs
+// one run-to-completion handler per message, sPIN executes per-packet
+// handler chains on a pool of handler processing units (HPUs): a header
+// handler for a message's first packet — which is where the optimistic
+// match executes — then payload handlers for every subsequent MTU-sized
+// packet (copying data toward its destination), and a completion handler
+// once all packets of the message are done.
+//
+// The matching core is untouched: the header handlers of a block of
+// messages call Block.Match exactly as DPA threads do, demonstrating that
+// the algorithm only assumes parallel run-to-completion execution, not a
+// specific accelerator.
+type SPINPipeline struct {
+	acc     *Accelerator
+	matcher *core.OptimisticMatcher
+	cq      *rdma.CQ
+
+	// MTU is the packet size payload handlers operate on (default 256).
+	MTU int
+	// Decode parses a completion into an envelope (header packet view).
+	Decode func(c rdma.Completion) *match.Envelope
+	// Payload processes one MTU chunk of a matched message on an HPU; off
+	// is the chunk offset within the message payload. It may be nil.
+	Payload func(res core.Result, c rdma.Completion, off, n int)
+	// Complete runs once per message after its payload handlers finish.
+	Complete func(res core.Result, c rdma.Completion)
+
+	cursor   uint64
+	stopOnce sync.Once
+	done     chan struct{}
+	wg       sync.WaitGroup
+
+	messages atomic.Uint64
+	packets  atomic.Uint64
+}
+
+// NewSPINPipeline wires a sPIN-personality pipeline.
+func NewSPINPipeline(acc *Accelerator, m *core.OptimisticMatcher, cq *rdma.CQ) *SPINPipeline {
+	return &SPINPipeline{acc: acc, matcher: m, cq: cq, MTU: 256, done: make(chan struct{})}
+}
+
+// Start launches the stream loop. Decode and Complete must be set.
+func (p *SPINPipeline) Start() {
+	if p.Decode == nil || p.Complete == nil {
+		panic("dpa: SPINPipeline requires Decode and Complete")
+	}
+	if p.MTU <= 0 {
+		p.MTU = 256
+	}
+	p.wg.Add(1)
+	go p.run()
+}
+
+// Stop terminates the loop and waits for in-flight handler chains.
+func (p *SPINPipeline) Stop() {
+	p.stopOnce.Do(func() { close(p.done) })
+	p.cq.Close()
+	p.wg.Wait()
+}
+
+// Messages returns the number of messages processed.
+func (p *SPINPipeline) Messages() uint64 { return p.messages.Load() }
+
+// Packets returns the number of payload packets processed by HPUs.
+func (p *SPINPipeline) Packets() uint64 { return p.packets.Load() }
+
+func (p *SPINPipeline) run() {
+	defer p.wg.Done()
+	blockSize := p.matcher.Config().BlockSize
+	for {
+		first, ok := p.cq.WaitIndex(p.cursor)
+		if !ok {
+			return
+		}
+		comps := []rdma.Completion{first}
+		for len(comps) < blockSize {
+			c, ok := p.cq.Poll(p.cursor + uint64(len(comps)))
+			if !ok {
+				break
+			}
+			comps = append(comps, c)
+		}
+		n := len(comps)
+
+		// Header handlers: the optimistic matching block.
+		results := make([]core.Result, n)
+		blk := p.matcher.BeginBlock(n)
+		p.acc.RunBlock(n, func(tid int) {
+			env := p.Decode(comps[tid])
+			results[tid] = blk.Match(tid, env)
+		})
+		blk.Finish()
+
+		// Payload handlers: fan each message's MTU chunks over the HPUs.
+		// Chunks of all messages of the block interleave freely, as packets
+		// would on the wire.
+		type chunk struct {
+			msg    int
+			off, n int
+		}
+		var chunks []chunk
+		for mi, c := range comps {
+			payload := len(c.Data)
+			for off := 0; off < payload; off += p.MTU {
+				sz := p.MTU
+				if off+sz > payload {
+					sz = payload - off
+				}
+				chunks = append(chunks, chunk{msg: mi, off: off, n: sz})
+			}
+		}
+		for start := 0; start < len(chunks); start += p.acc.Threads() {
+			end := start + p.acc.Threads()
+			if end > len(chunks) {
+				end = len(chunks)
+			}
+			batch := chunks[start:end]
+			p.acc.RunBlock(len(batch), func(tid int) {
+				ck := batch[tid]
+				if p.Payload != nil {
+					p.Payload(results[ck.msg], comps[ck.msg], ck.off, ck.n)
+				}
+			})
+			p.packets.Add(uint64(len(batch)))
+		}
+
+		// Completion handlers.
+		p.acc.RunBlock(n, func(tid int) {
+			p.Complete(results[tid], comps[tid])
+		})
+
+		p.cursor += uint64(n)
+		p.cq.Trim(p.cursor)
+		p.messages.Add(uint64(n))
+
+		select {
+		case <-p.done:
+			if _, ok := p.cq.Poll(p.cursor); !ok {
+				return
+			}
+		default:
+		}
+	}
+}

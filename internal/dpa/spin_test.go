@@ -1,0 +1,125 @@
+package dpa
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/match"
+	"repro/internal/rdma"
+)
+
+func TestSPINPipelineEndToEnd(t *testing.T) {
+	acc := MustNew(Config{Threads: 8})
+	defer acc.Close()
+	matcher := core.MustNew(core.Config{
+		Bins: 64, MaxReceives: 64, BlockSize: 8,
+		EarlyBookingCheck: true, LazyRemoval: true, UseInlineHashes: true,
+	})
+	cq := rdma.NewCQ()
+	p := NewSPINPipeline(acc, matcher, cq)
+	p.MTU = 16
+
+	var mu sync.Mutex
+	copied := map[uint32][]bool{} // per-message chunk coverage
+	completed := map[uint32]bool{}
+
+	p.Decode = func(c rdma.Completion) *match.Envelope {
+		return &match.Envelope{Source: match.Rank(c.Imm % 4), Tag: 5}
+	}
+	p.Payload = func(res core.Result, c rdma.Completion, off, n int) {
+		mu.Lock()
+		defer mu.Unlock()
+		cov := copied[c.Imm]
+		if cov == nil {
+			cov = make([]bool, (len(c.Data)+15)/16)
+			copied[c.Imm] = cov
+		}
+		if off%16 != 0 || cov[off/16] {
+			t.Errorf("chunk (%d,%d) duplicated or misaligned", off, n)
+		}
+		cov[off/16] = true
+	}
+	p.Complete = func(res core.Result, c rdma.Completion) {
+		mu.Lock()
+		defer mu.Unlock()
+		if res.Unexpected {
+			t.Errorf("message %d went unexpected", c.Imm)
+		}
+		completed[c.Imm] = true
+	}
+	p.Start()
+
+	const msgs = 8
+	for i := 0; i < msgs; i++ {
+		if _, _, err := matcher.PostRecv(&match.Recv{Source: match.Rank(i % 4), Tag: 5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < msgs; i++ {
+		cq.Push(rdma.Completion{Op: rdma.OpRecv, Imm: uint32(i), Data: make([]byte, 48)})
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Messages() < msgs {
+		if time.Now().After(deadline) {
+			t.Fatal("pipeline stalled")
+		}
+	}
+	p.Stop()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(completed) != msgs {
+		t.Fatalf("completed %d of %d", len(completed), msgs)
+	}
+	// 48-byte payloads at MTU 16 → 3 chunks each, all covered.
+	if p.Packets() != msgs*3 {
+		t.Fatalf("packets = %d, want %d", p.Packets(), msgs*3)
+	}
+	for imm, cov := range copied {
+		for i, ok := range cov {
+			if !ok {
+				t.Fatalf("message %d chunk %d never processed", imm, i)
+			}
+		}
+	}
+}
+
+func TestSPINPipelineRequiresHandlers(t *testing.T) {
+	acc := MustNew(Config{Threads: 2})
+	defer acc.Close()
+	matcher := core.MustNew(core.Config{Bins: 4, MaxReceives: 4, BlockSize: 2, LazyRemoval: true})
+	p := NewSPINPipeline(acc, matcher, rdma.NewCQ())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Start without handlers must panic")
+		}
+	}()
+	p.Start()
+}
+
+func TestSPINPipelineZeroPayload(t *testing.T) {
+	// Header-only messages (e.g. rendezvous RTS) produce no payload chunks.
+	acc := MustNew(Config{Threads: 4})
+	defer acc.Close()
+	matcher := core.MustNew(core.Config{Bins: 16, MaxReceives: 16, BlockSize: 4, LazyRemoval: true})
+	cq := rdma.NewCQ()
+	p := NewSPINPipeline(acc, matcher, cq)
+	p.Decode = func(c rdma.Completion) *match.Envelope {
+		return &match.Envelope{Source: 1, Tag: 1}
+	}
+	p.Complete = func(res core.Result, c rdma.Completion) {}
+	p.Start()
+	cq.Push(rdma.Completion{Op: rdma.OpRecv})
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Messages() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("stalled")
+		}
+	}
+	p.Stop()
+	if p.Packets() != 0 {
+		t.Fatalf("packets = %d for a header-only message", p.Packets())
+	}
+}

@@ -1,0 +1,139 @@
+package match
+
+// AdaptiveMatcher is the dynamic baseline of the paper's Table I (Bayatpour
+// et al., "Adaptive and dynamic design for MPI tag matching", CLUSTER
+// 2016): it starts on the traditional linked-list algorithm and, when the
+// observed search depth over a sampling window exceeds a threshold,
+// migrates all state into a binned matcher. MPI semantics are preserved
+// across the migration: entries are re-posted/re-delivered in their
+// original label and arrival order, so the pairing outcome is identical to
+// having used either structure from the start.
+//
+// AdaptiveMatcher is not safe for concurrent use.
+type AdaptiveMatcher struct {
+	active Matcher
+
+	bins      int
+	window    uint64
+	threshold float64
+	migrated  bool
+
+	// label/seq continuity across migration
+	carry Stats
+
+	lastSearches uint64
+}
+
+// AdaptiveConfig tunes the migration policy.
+type AdaptiveConfig struct {
+	// Bins is the bin count adopted after migration (default 64).
+	Bins int
+	// Window is the number of searches between policy checks (default 64).
+	Window uint64
+	// Threshold is the mean search depth that triggers migration
+	// (default 4.0).
+	Threshold float64
+}
+
+// NewAdaptiveMatcher returns a matcher on the traditional algorithm, ready
+// to migrate to bins when queues grow deep.
+func NewAdaptiveMatcher(cfg AdaptiveConfig) *AdaptiveMatcher {
+	if cfg.Bins <= 0 {
+		cfg.Bins = 64
+	}
+	if cfg.Window == 0 {
+		cfg.Window = 64
+	}
+	if cfg.Threshold == 0 {
+		cfg.Threshold = 4.0
+	}
+	return &AdaptiveMatcher{
+		active:    NewListMatcher(),
+		bins:      cfg.Bins,
+		window:    cfg.Window,
+		threshold: cfg.Threshold,
+	}
+}
+
+// Migrated reports whether the matcher has switched to the binned design.
+func (m *AdaptiveMatcher) Migrated() bool { return m.migrated }
+
+// maybeMigrate checks the policy after each operation.
+func (m *AdaptiveMatcher) maybeMigrate() {
+	if m.migrated {
+		return
+	}
+	st := m.active.Stats()
+	searches := st.ArriveSearches + st.PostSearches
+	if searches < m.lastSearches+m.window {
+		return
+	}
+	m.lastSearches = searches
+	if st.AvgDepth() < m.threshold {
+		return
+	}
+	m.migrate()
+}
+
+// migrate rebuilds the current state inside a binned matcher. The list
+// matcher's internal order is recovered through its public behaviour:
+// draining all posted receives (oldest first, via matching probes) and all
+// unexpected messages (arrival order, via wildcard posts) would consume
+// them, so instead the migration relies on the snapshot accessors below.
+func (m *AdaptiveMatcher) migrate() {
+	lm := m.active.(*ListMatcher)
+	bm := NewBinMatcher(m.bins)
+
+	// Replay posted receives in posting order, restoring each receive's
+	// original label afterwards: chain order inside the new structure comes
+	// from insertion order, while cross-structure C1 comparisons keep using
+	// the original monotonic labels.
+	for n := lm.prq.head; n != nil; n = n.next {
+		label := n.recv.Label
+		bm.PostRecv(n.recv)
+		n.recv.Label = label
+	}
+	bm.nextLabel = lm.nextLabel // future posts continue the label sequence
+	bm.nextSeq = lm.nextSeq     // and future arrivals the sequence numbers
+	// Replay unexpected messages in arrival order, keeping their sequence
+	// numbers (C2 depends on relative order only).
+	for n := lm.umq.head; n != nil; n = n.next {
+		bm.Arrive(n.env)
+	}
+	// Carry accumulated statistics so depth reporting stays cumulative.
+	m.carry = m.carry.Add(lm.Stats())
+	bm.ResetStats()
+	m.active = bm
+	m.migrated = true
+}
+
+// PostRecv implements Matcher.
+func (m *AdaptiveMatcher) PostRecv(r *Recv) (*Envelope, bool) {
+	env, ok := m.active.PostRecv(r)
+	m.maybeMigrate()
+	return env, ok
+}
+
+// Arrive implements Matcher.
+func (m *AdaptiveMatcher) Arrive(e *Envelope) (*Recv, bool) {
+	r, ok := m.active.Arrive(e)
+	m.maybeMigrate()
+	return r, ok
+}
+
+// PostedDepth implements Matcher.
+func (m *AdaptiveMatcher) PostedDepth() int { return m.active.PostedDepth() }
+
+// UnexpectedDepth implements Matcher.
+func (m *AdaptiveMatcher) UnexpectedDepth() int { return m.active.UnexpectedDepth() }
+
+// Stats implements Matcher, accumulating across migrations.
+func (m *AdaptiveMatcher) Stats() Stats { return m.carry.Add(m.active.Stats()) }
+
+// ResetStats implements Matcher.
+func (m *AdaptiveMatcher) ResetStats() {
+	m.carry = Stats{}
+	m.active.ResetStats()
+}
+
+var _ Matcher = (*AdaptiveMatcher)(nil)

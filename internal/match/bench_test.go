@@ -1,0 +1,89 @@
+package match_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/match"
+)
+
+// Baseline-strategy microbenchmarks: one posted-then-matched cycle with a
+// configurable number of live keys, across every Table I implementation.
+
+func cycle(b *testing.B, m match.Matcher, keys int) {
+	b.Helper()
+	// Warm: fill the structures with `keys` outstanding receives.
+	for k := 0; k < keys; k++ {
+		m.PostRecv(&match.Recv{Source: match.Rank(k % 16), Tag: match.Tag(k)})
+	}
+	// Pseudo-random key order: cycling through keys in posting order would
+	// let the list matcher always match at the head, hiding its O(n) walk.
+	lcg := uint32(12345)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lcg = lcg*1664525 + 1013904223
+		k := int(lcg>>8) % keys
+		// Match the oldest receive for this key and re-post it.
+		if _, ok := m.Arrive(&match.Envelope{Source: match.Rank(k % 16), Tag: match.Tag(k)}); !ok {
+			b.Fatal("miss")
+		}
+		m.PostRecv(&match.Recv{Source: match.Rank(k % 16), Tag: match.Tag(k)})
+	}
+}
+
+func BenchmarkMatchers(b *testing.B) {
+	for _, keys := range []int{8, 64, 512} {
+		for _, tc := range []struct {
+			name string
+			mk   func() match.Matcher
+		}{
+			{"list", func() match.Matcher { return match.NewListMatcher() }},
+			{"bin-32", func() match.Matcher { return match.NewBinMatcher(32) }},
+			{"bin-128", func() match.Matcher { return match.NewBinMatcher(128) }},
+			{"rank", func() match.Matcher { return match.NewRankMatcher() }},
+			{"adaptive", func() match.Matcher { return match.NewAdaptiveMatcher(match.AdaptiveConfig{}) }},
+		} {
+			b.Run(fmt.Sprintf("%s/keys=%d", tc.name, keys), func(b *testing.B) {
+				cycle(b, tc.mk(), keys)
+			})
+		}
+	}
+}
+
+// BenchmarkUnexpectedFlood measures the UMQ side: a flood of stored
+// messages drained by posting receives.
+func BenchmarkUnexpectedFlood(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		mk   func() match.Matcher
+	}{
+		{"list", func() match.Matcher { return match.NewListMatcher() }},
+		{"bin-128", func() match.Matcher { return match.NewBinMatcher(128) }},
+		{"rank", func() match.Matcher { return match.NewRankMatcher() }},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			m := tc.mk()
+			const flood = 256
+			for i := 0; i < flood; i++ {
+				m.Arrive(&match.Envelope{Source: match.Rank(i % 16), Tag: match.Tag(i)})
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := i % flood
+				if _, ok := m.PostRecv(&match.Recv{Source: match.Rank(k % 16), Tag: match.Tag(k)}); !ok {
+					b.Fatal("miss")
+				}
+				m.Arrive(&match.Envelope{Source: match.Rank(k % 16), Tag: match.Tag(k)})
+			}
+		})
+	}
+}
+
+// BenchmarkHash measures the sender-side inline-hash computation (§IV-D).
+func BenchmarkHash(b *testing.B) {
+	e := &match.Envelope{Source: 13, Tag: 4099, Comm: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = match.ComputeInlineHashes(e)
+	}
+}

@@ -1,0 +1,118 @@
+// Package matchtest provides scenario generators and golden-model drivers
+// shared by the test suites of the matching engines. A scenario is a
+// sequence of post/arrive operations; the golden model (the traditional
+// list matcher) defines the MPI-correct message→receive pairing, which is
+// unique given constraints C1 and C2, so every compliant engine must
+// produce the identical pairing list.
+package matchtest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/match"
+)
+
+// Op is one matching operation in a scenario.
+type Op struct {
+	Post bool       // true: post a receive; false: deliver a message
+	Src  match.Rank // source (or AnySource for posts)
+	Tag  match.Tag  // tag (or AnyTag for posts)
+	Comm match.CommID
+}
+
+// Config bounds the randomness of generated scenarios.
+type Config struct {
+	Sources    int     // number of distinct source ranks
+	Tags       int     // number of distinct tags
+	Comms      int     // number of communicators (0 means 1)
+	PSrcWild   float64 // probability a post uses AnySource
+	PTagWild   float64 // probability a post uses AnyTag
+	PPost      float64 // probability an op is a post (0 means 0.5)
+	Burstiness int     // if >0, repeat each generated op up to this many times
+}
+
+// DefaultConfig is a balanced scenario mix with moderate wildcard use.
+func DefaultConfig() Config {
+	return Config{Sources: 8, Tags: 8, Comms: 2, PSrcWild: 0.15, PTagWild: 0.15, PPost: 0.5}
+}
+
+// Generate produces n operations under cfg using rng.
+func Generate(rng *rand.Rand, n int, cfg Config) []Op {
+	if cfg.Comms <= 0 {
+		cfg.Comms = 1
+	}
+	if cfg.PPost == 0 {
+		cfg.PPost = 0.5
+	}
+	ops := make([]Op, 0, n)
+	for len(ops) < n {
+		op := Op{
+			Post: rng.Float64() < cfg.PPost,
+			Src:  match.Rank(rng.Intn(cfg.Sources)),
+			Tag:  match.Tag(rng.Intn(cfg.Tags)),
+			Comm: match.CommID(rng.Intn(cfg.Comms)),
+		}
+		if op.Post {
+			if rng.Float64() < cfg.PSrcWild {
+				op.Src = match.AnySource
+			}
+			if rng.Float64() < cfg.PTagWild {
+				op.Tag = match.AnyTag
+			}
+		}
+		reps := 1
+		if cfg.Burstiness > 1 {
+			reps = 1 + rng.Intn(cfg.Burstiness)
+		}
+		for r := 0; r < reps && len(ops) < n; r++ {
+			ops = append(ops, op)
+		}
+	}
+	return ops
+}
+
+// Run drives ops through m sequentially and returns the pairings in
+// completion order plus the final queue depths.
+func Run(m match.Matcher, ops []Op) (pairings []match.Pairing, posted, unexpected int) {
+	var seq uint64
+	for _, op := range ops {
+		if op.Post {
+			r := &match.Recv{Source: op.Src, Tag: op.Tag, Comm: op.Comm}
+			if env, ok := m.PostRecv(r); ok {
+				pairings = append(pairings, match.Pairing{MsgSeq: env.Seq, RecvLabel: r.Label})
+			}
+		} else {
+			seq++
+			e := &match.Envelope{Source: op.Src, Tag: op.Tag, Comm: op.Comm, Seq: seq}
+			if r, ok := m.Arrive(e); ok {
+				pairings = append(pairings, match.Pairing{MsgSeq: e.Seq, RecvLabel: r.Label})
+			}
+		}
+	}
+	return pairings, m.PostedDepth(), m.UnexpectedDepth()
+}
+
+// DiffPairings compares two pairing sets irrespective of completion order
+// (block-parallel engines may report completions out of order within a
+// block) and returns a description of the first divergence, or "".
+func DiffPairings(golden, got []match.Pairing) string {
+	if len(golden) != len(got) {
+		return fmt.Sprintf("pairing count: golden %d, got %d", len(golden), len(got))
+	}
+	byMsg := make(map[uint64]uint64, len(golden))
+	for _, p := range golden {
+		byMsg[p.MsgSeq] = p.RecvLabel
+	}
+	for _, p := range got {
+		want, ok := byMsg[p.MsgSeq]
+		if !ok {
+			return fmt.Sprintf("msg %d matched by engine but not by golden model", p.MsgSeq)
+		}
+		if want != p.RecvLabel {
+			return fmt.Sprintf("msg %d: golden matched recv label %d, engine matched %d",
+				p.MsgSeq, want, p.RecvLabel)
+		}
+	}
+	return ""
+}

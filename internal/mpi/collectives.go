@@ -1,0 +1,341 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/match"
+)
+
+// Collectives built on point-to-point operations. The paper's discussion
+// (§VII) motivates offloaded tag matching precisely so that collectives —
+// "normally built on top of point-to-point operations, and hence need
+// matching to be performed in order to be offloaded" — can run entirely on
+// the SmartNIC: every tree edge below goes through the configured matching
+// engine.
+//
+// Collective traffic uses negative tags, which the public Isend/Irecv API
+// rejects, so it can never collide with application messages. Successive
+// collectives on one communicator may share a tag: the non-overtaking
+// constraint (C2) keeps per-pair messages in program order.
+
+// Internal collective tags.
+const (
+	tagBcast   = -10
+	tagReduce  = -11
+	tagGather  = -12
+	tagA2A     = -13
+	tagScatter = -14
+)
+
+// ReduceOp combines src into acc; both slices have equal length. The
+// operation must be associative (as MPI requires).
+type ReduceOp func(acc, src []byte)
+
+// OpSumFloat64 adds vectors of float64 (MPI_SUM over MPI_DOUBLE).
+func OpSumFloat64(acc, src []byte) {
+	for i := 0; i+8 <= len(acc); i += 8 {
+		putF64(acc[i:], getF64(acc[i:])+getF64(src[i:]))
+	}
+}
+
+// OpMaxFloat64 keeps the element-wise maximum (MPI_MAX over MPI_DOUBLE).
+func OpMaxFloat64(acc, src []byte) {
+	for i := 0; i+8 <= len(acc); i += 8 {
+		if s := getF64(src[i:]); s > getF64(acc[i:]) {
+			putF64(acc[i:], s)
+		}
+	}
+}
+
+// OpBXor xors the buffers (MPI_BXOR over bytes).
+func OpBXor(acc, src []byte) {
+	for i := range acc {
+		if i < len(src) {
+			acc[i] ^= src[i]
+		}
+	}
+}
+
+// Bcast broadcasts root's buf to every rank over a binomial tree
+// (MPI_Bcast). All ranks must pass equal-length buffers.
+func (c Comm) Bcast(root int, buf []byte) error {
+	if err := c.p.checkPeer(root); err != nil {
+		return err
+	}
+	n := c.p.n
+	if n == 1 {
+		return nil
+	}
+	rel := (c.p.rank - root + n) % n
+
+	// Receive from the parent (non-root ranks).
+	mask := 1
+	for mask < n {
+		if rel&mask != 0 {
+			parent := (rel - mask + root + n) % n
+			if _, err := c.recvColl(parent, tagBcast, buf); err != nil {
+				return err
+			}
+			break
+		}
+		mask <<= 1
+	}
+	// Forward to children in decreasing mask order.
+	for mask >>= 1; mask > 0; mask >>= 1 {
+		if rel&mask == 0 && rel+mask < n {
+			child := (rel + mask + root) % n
+			if err := c.sendColl(child, tagBcast, buf); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Reduce combines every rank's data with op into out at root (MPI_Reduce).
+// out is only written at root and must have len(data); data is not
+// modified. All ranks must pass equal-length data.
+func (c Comm) Reduce(root int, data []byte, op ReduceOp, out []byte) error {
+	if err := c.p.checkPeer(root); err != nil {
+		return err
+	}
+	if op == nil {
+		return fmt.Errorf("mpi: Reduce requires an op")
+	}
+	n := c.p.n
+	acc := append([]byte(nil), data...)
+	if n > 1 {
+		rel := (c.p.rank - root + n) % n
+		tmp := make([]byte, len(data))
+		for mask := 1; mask < n; mask <<= 1 {
+			if rel&mask == 0 {
+				peerRel := rel | mask
+				if peerRel < n {
+					peer := (peerRel + root) % n
+					st, err := c.recvColl(peer, tagReduce, tmp)
+					if err != nil {
+						return err
+					}
+					if st.Count != len(acc) {
+						return fmt.Errorf("mpi: Reduce length mismatch: %d vs %d", st.Count, len(acc))
+					}
+					op(acc, tmp)
+				}
+			} else {
+				parent := (rel - mask + root + n) % n
+				if err := c.sendColl(parent, tagReduce, acc); err != nil {
+					return err
+				}
+				break
+			}
+		}
+	}
+	if c.p.rank == root {
+		if len(out) < len(acc) {
+			return ErrTruncated
+		}
+		copy(out, acc)
+	}
+	return nil
+}
+
+// Allreduce is Reduce to rank 0 followed by Bcast (MPI_Allreduce). out
+// must have len(data) on every rank.
+func (c Comm) Allreduce(data []byte, op ReduceOp, out []byte) error {
+	if err := c.Reduce(0, data, op, out); err != nil {
+		return err
+	}
+	if c.p.rank != 0 {
+		if len(out) < len(data) {
+			return ErrTruncated
+		}
+	}
+	return c.Bcast(0, out[:len(data)])
+}
+
+// Gather collects every rank's data at root (MPI_Gather). At root, out
+// must have one slice per rank, each large enough for that rank's
+// contribution; elsewhere out is ignored.
+func (c Comm) Gather(root int, data []byte, out [][]byte) error {
+	if err := c.p.checkPeer(root); err != nil {
+		return err
+	}
+	n := c.p.n
+	if c.p.rank != root {
+		return c.sendColl(root, tagGather, data)
+	}
+	if len(out) < n {
+		return fmt.Errorf("mpi: Gather at root needs %d receive slices, got %d", n, len(out))
+	}
+	reqs := make([]*Request, 0, n-1)
+	for r := 0; r < n; r++ {
+		if r == root {
+			if len(out[r]) < len(data) {
+				return ErrTruncated
+			}
+			copy(out[r], data)
+			continue
+		}
+		req, err := c.p.irecv(r, tagGather, collContext(c.id), out[r])
+		if err != nil {
+			return err
+		}
+		reqs = append(reqs, req)
+	}
+	return Waitall(reqs...)
+}
+
+// Alltoall exchanges data[i] from every rank to rank i (MPI_Alltoall).
+// data and out must both have one slice per rank; out[i] receives rank i's
+// contribution.
+func (c Comm) Alltoall(data, out [][]byte) error {
+	n := c.p.n
+	if len(data) < n || len(out) < n {
+		return fmt.Errorf("mpi: Alltoall needs %d slices each way", n)
+	}
+	reqs := make([]*Request, 0, 2*n)
+	for r := 0; r < n; r++ {
+		if r == c.p.rank {
+			continue
+		}
+		req, err := c.p.irecv(r, tagA2A, collContext(c.id), out[r])
+		if err != nil {
+			return err
+		}
+		reqs = append(reqs, req)
+	}
+	for r := 0; r < n; r++ {
+		if r == c.p.rank {
+			if len(out[r]) < len(data[r]) {
+				return ErrTruncated
+			}
+			copy(out[r], data[r])
+			continue
+		}
+		req, err := c.p.isend(r, tagA2A, collContext(c.id), data[r])
+		if err != nil {
+			return err
+		}
+		reqs = append(reqs, req)
+	}
+	return Waitall(reqs...)
+}
+
+// Scatter distributes data[i] from root to rank i (MPI_Scatter). recv must
+// be large enough for this rank's slice; at root, data must have one slice
+// per rank.
+func (c Comm) Scatter(root int, data [][]byte, recv []byte) error {
+	if err := c.p.checkPeer(root); err != nil {
+		return err
+	}
+	n := c.p.n
+	if c.p.rank == root {
+		if len(data) < n {
+			return fmt.Errorf("mpi: Scatter at root needs %d send slices, got %d", n, len(data))
+		}
+		for r := 0; r < n; r++ {
+			if r == root {
+				if len(recv) < len(data[r]) {
+					return ErrTruncated
+				}
+				copy(recv, data[r])
+				continue
+			}
+			if err := c.sendColl(r, tagScatter, data[r]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	_, err := c.recvColl(root, tagScatter, recv)
+	return err
+}
+
+// Allgather collects every rank's data everywhere (MPI_Allgather): a Gather
+// to rank 0 followed by a Bcast of the concatenation. out must have one
+// slice per rank on every rank, each sized for that rank's contribution;
+// all contributions must have equal length.
+func (c Comm) Allgather(data []byte, out [][]byte) error {
+	n := c.p.n
+	if len(out) < n {
+		return fmt.Errorf("mpi: Allgather needs %d receive slices, got %d", n, len(out))
+	}
+	if err := c.Gather(0, data, out); err != nil {
+		return err
+	}
+	// Flatten, broadcast, scatter back into the slices.
+	width := len(data)
+	flat := make([]byte, n*width)
+	if c.p.rank == 0 {
+		for r := 0; r < n; r++ {
+			copy(flat[r*width:], out[r])
+		}
+	}
+	if err := c.Bcast(0, flat); err != nil {
+		return err
+	}
+	for r := 0; r < n; r++ {
+		if len(out[r]) < width {
+			return ErrTruncated
+		}
+		copy(out[r], flat[r*width:(r+1)*width])
+	}
+	return nil
+}
+
+// collContext derives the collective matching context of a communicator.
+// Like real MPI implementations, collectives run in a context separate from
+// point-to-point traffic, so an application's wildcard receives can never
+// intercept tree messages. User communicators are non-negative, so the
+// derived IDs never collide with them (or with internalComm).
+func collContext(id match.CommID) match.CommID { return -1000 - id }
+
+// sendColl / recvColl run on the collective context and bypass the public
+// non-negative-tag validation for the reserved collective tags.
+func (c Comm) sendColl(dst, tag int, data []byte) error {
+	req, err := c.p.isend(dst, tag, collContext(c.id), data)
+	if err != nil {
+		return err
+	}
+	_, err = req.Wait()
+	return err
+}
+
+func (c Comm) recvColl(src, tag int, buf []byte) (Status, error) {
+	req, err := c.p.irecv(src, tag, collContext(c.id), buf)
+	if err != nil {
+		return Status{}, err
+	}
+	return req.Wait()
+}
+
+// float64 little-endian buffer helpers.
+func getF64(b []byte) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}
+
+func putF64(b []byte, v float64) {
+	binary.LittleEndian.PutUint64(b, math.Float64bits(v))
+}
+
+// Float64s view helpers for callers working in doubles.
+
+// PackFloat64s encodes vs into a fresh byte buffer.
+func PackFloat64s(vs []float64) []byte {
+	b := make([]byte, 8*len(vs))
+	for i, v := range vs {
+		putF64(b[8*i:], v)
+	}
+	return b
+}
+
+// UnpackFloat64s decodes a buffer produced by PackFloat64s.
+func UnpackFloat64s(b []byte) []float64 {
+	vs := make([]float64, len(b)/8)
+	for i := range vs {
+		vs[i] = getF64(b[8*i:])
+	}
+	return vs
+}

@@ -1,0 +1,332 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/dpa"
+	"repro/internal/match"
+	"repro/internal/rdma"
+)
+
+// engine is a receiver-side matching engine: it owns the arrival path and
+// accepts receive postings from the application.
+type engine interface {
+	// start launches the arrival-processing machinery.
+	start() error
+	// post presents a user receive; the engine completes it immediately
+	// when a stored unexpected message matches.
+	post(r *match.Recv) error
+	// close shuts the arrival path down.
+	close()
+}
+
+// ---------------------------------------------------------------------------
+// Host engine: traditional on-CPU linked-list matching (Fig. 8 "MPI-CPU").
+
+type hostEngine struct {
+	p  *Proc
+	mu sync.Mutex // guards lm: posts race with the progress goroutine
+	lm *match.ListMatcher
+	wg sync.WaitGroup
+}
+
+func newHostEngine(p *Proc) (*hostEngine, error) {
+	return &hostEngine{p: p, lm: match.NewListMatcher()}, nil
+}
+
+func (e *hostEngine) start() error {
+	e.wg.Add(1)
+	go e.run()
+	return nil
+}
+
+// run is the host progress loop: it drains the receive CQ sequentially —
+// the serialization offloading removes.
+func (e *hostEngine) run() {
+	defer e.wg.Done()
+	for k := uint64(0); ; k++ {
+		c, ok := e.p.recvCQ.WaitIndex(k)
+		if !ok {
+			return
+		}
+		h, err := decodeHeader(c.Data)
+		if err != nil {
+			e.p.repost(c.Data)
+			continue
+		}
+		if h.kind == kindAck {
+			e.p.handleAck(h)
+			e.p.repost(c.Data)
+			continue
+		}
+		env := envelopeFromHeader(h, payloadOf(h, c.Data))
+		e.mu.Lock()
+		r, matched := e.lm.Arrive(env)
+		if !matched {
+			// Stabilize before releasing the lock: a concurrent post could
+			// otherwise take the envelope while it still aliases the bounce
+			// buffer.
+			stabilizeUnexpected(env)
+		}
+		e.mu.Unlock()
+		if matched {
+			e.p.deliverMatch(r, env)
+		}
+		e.p.repost(c.Data)
+		e.p.recvCQ.Trim(k) // keep the window bounded
+	}
+}
+
+func (e *hostEngine) post(r *match.Recv) error {
+	e.mu.Lock()
+	env, ok := e.lm.PostRecv(r)
+	e.mu.Unlock()
+	if ok {
+		e.p.deliverMatch(r, env)
+	}
+	return nil
+}
+
+func (e *hostEngine) close() {
+	e.p.recvCQ.Close()
+	e.wg.Wait()
+}
+
+// ---------------------------------------------------------------------------
+// Offload engine: optimistic tag matching on the simulated DPA
+// (Fig. 8 "Optimistic-DPA").
+
+type offloadEngine struct {
+	p       *Proc
+	acc     *dpa.Accelerator
+	matcher *core.OptimisticMatcher
+	pipe    *dpa.Pipeline
+
+	// Software fallback (§IV-E): communicators that opted out or did not
+	// fit in DPA memory are matched on the host with the traditional list
+	// algorithm. Fallback arrivals are diverted out of the matching blocks
+	// through the pipeline's control path.
+	fbMu          sync.Mutex
+	fallback      *match.ListMatcher
+	fallbackComms map[match.CommID]bool
+}
+
+func newOffloadEngine(p *Proc) (*offloadEngine, error) {
+	acc, err := dpa.New(p.w.opts.DPA)
+	if err != nil {
+		return nil, err
+	}
+	mcfg := p.w.opts.Matcher
+	if mcfg.BlockSize > acc.Threads() {
+		return nil, fmt.Errorf("mpi: matcher block size %d exceeds %d DPA threads",
+			mcfg.BlockSize, acc.Threads())
+	}
+	matcher, err := core.New(mcfg)
+	if err != nil {
+		return nil, err
+	}
+	// Budget the default matching tables against DPA memory (§IV-E);
+	// failure to fit the base set is a setup error.
+	fp := matcher.ModelFootprint()
+	if _, err := acc.Arena().Alloc(fp.Total()); err != nil {
+		return nil, fmt.Errorf("mpi: matching tables (%d B) exceed DPA memory: %w", fp.Total(), err)
+	}
+	e := &offloadEngine{
+		p: p, acc: acc, matcher: matcher,
+		fallback:      match.NewListMatcher(),
+		fallbackComms: make(map[match.CommID]bool),
+	}
+	// Apply communicator info objects: hints propagate to the engine;
+	// opted-out or unbudgetable communicators fall back to software.
+	for id, info := range p.w.opts.CommInfo {
+		comm := match.CommID(id)
+		if info.NoOffload {
+			e.fallbackComms[comm] = true
+			continue
+		}
+		if _, err := acc.Arena().Alloc(fp.Total()); err != nil {
+			// §IV-E: "If it is not possible to allocate DPA resources at
+			// communicator creation time, the MPI implementation is
+			// expected to fall back to software tag matching."
+			e.fallbackComms[comm] = true
+			continue
+		}
+		e.matcher.SetCommHints(comm, info.Hints)
+	}
+	e.pipe = dpa.NewPipeline(acc, matcher, p.recvCQ)
+	e.pipe.Decode = e.decode
+	e.pipe.Handle = e.handle
+	e.pipe.Classify = e.classify
+	e.pipe.Control = e.control
+	return e, nil
+}
+
+// classify routes completions: ACKs and fallback-communicator messages
+// bypass the matching blocks.
+func (e *offloadEngine) classify(c rdma.Completion) bool {
+	h, err := decodeHeader(c.Data)
+	if err != nil || h.kind == kindAck {
+		return false
+	}
+	if len(e.fallbackComms) != 0 && e.fallbackComms[match.CommID(h.comm)] {
+		return false
+	}
+	return true
+}
+
+// FallbackComms reports which communicators run on software matching.
+func (e *offloadEngine) FallbackComms() []int32 {
+	out := make([]int32, 0, len(e.fallbackComms))
+	for c := range e.fallbackComms {
+		out = append(out, int32(c))
+	}
+	return out
+}
+
+func (e *offloadEngine) start() error {
+	e.pipe.Start()
+	return nil
+}
+
+// decode runs on a DPA thread: parse the header and build the envelope.
+// The eager payload still aliases the bounce buffer here; handle() decides
+// whether it must be stabilized.
+func (e *offloadEngine) decode(c rdma.Completion) *match.Envelope {
+	h, err := decodeHeader(c.Data)
+	if err != nil {
+		// Malformed traffic cannot occur from our own wire layer; match it
+		// to nothing by using an impossible communicator.
+		return &match.Envelope{Comm: -1}
+	}
+	return envelopeFromHeader(h, payloadOf(h, c.Data))
+}
+
+// handle runs on a DPA thread after the optimistic match: protocol handling
+// per §IV-B, then bounce-buffer recycling.
+func (e *offloadEngine) handle(tid int, res core.Result, c rdma.Completion) {
+	if res.Unexpected {
+		stabilizeUnexpected(res.Env)
+	} else {
+		e.p.deliverMatch(res.Recv, res.Env)
+	}
+	e.p.repost(c.Data)
+}
+
+// control handles rendezvous ACKs and fallback-communicator arrivals
+// without entering a matching block.
+func (e *offloadEngine) control(c rdma.Completion) {
+	h, err := decodeHeader(c.Data)
+	if err != nil {
+		e.p.repost(c.Data)
+		return
+	}
+	if h.kind == kindAck {
+		e.p.handleAck(h)
+		e.p.repost(c.Data)
+		return
+	}
+	// Software-matched communicator: traditional list matching on the host.
+	env := envelopeFromHeader(h, payloadOf(h, c.Data))
+	e.fbMu.Lock()
+	r, matched := e.fallback.Arrive(env)
+	if !matched {
+		stabilizeUnexpected(env)
+	}
+	e.fbMu.Unlock()
+	if matched {
+		e.p.deliverMatch(r, env)
+	}
+	e.p.repost(c.Data)
+}
+
+func (e *offloadEngine) post(r *match.Recv) error {
+	if len(e.fallbackComms) != 0 && e.fallbackComms[r.Comm] {
+		e.fbMu.Lock()
+		env, ok := e.fallback.PostRecv(r)
+		e.fbMu.Unlock()
+		if ok {
+			e.p.deliverMatch(r, env)
+		}
+		return nil
+	}
+	env, ok, err := e.matcher.PostRecv(r)
+	if err != nil {
+		return err
+	}
+	if ok {
+		e.p.deliverMatch(r, env)
+	}
+	return nil
+}
+
+func (e *offloadEngine) close() {
+	e.pipe.Stop()
+	e.acc.Close()
+}
+
+// ---------------------------------------------------------------------------
+// Raw engine: no matching at all (Fig. 8 "RDMA-CPU"). Arrivals complete
+// pending receives in FIFO order; source and tag are ignored. Only the
+// eager protocol is supported.
+
+type rawEngine struct {
+	p     *Proc
+	posts chan *match.Recv
+	done  chan struct{}
+	wg    sync.WaitGroup
+}
+
+func newRawEngine(p *Proc) (*rawEngine, error) {
+	return &rawEngine{p: p, posts: make(chan *match.Recv, 4096), done: make(chan struct{})}, nil
+}
+
+func (e *rawEngine) start() error {
+	e.wg.Add(1)
+	go e.run()
+	return nil
+}
+
+func (e *rawEngine) run() {
+	defer e.wg.Done()
+	for k := uint64(0); ; k++ {
+		c, ok := e.p.recvCQ.WaitIndex(k)
+		if !ok {
+			return
+		}
+		h, err := decodeHeader(c.Data)
+		if err != nil {
+			e.p.repost(c.Data)
+			continue
+		}
+		if h.kind == kindAck {
+			e.p.handleAck(h)
+			e.p.repost(c.Data)
+			continue
+		}
+		// Raw mode has no unexpected store: block until a receive is posted.
+		var r *match.Recv
+		select {
+		case r = <-e.posts:
+		case <-e.done:
+			return
+		}
+		req := r.User.(*Request)
+		n := copy(r.Buffer, payloadOf(h, c.Data))
+		req.complete(Status{Source: int(h.src), Tag: int(h.tag), Count: n}, nil)
+		e.p.repost(c.Data)
+		e.p.recvCQ.Trim(k)
+	}
+}
+
+func (e *rawEngine) post(r *match.Recv) error {
+	e.posts <- r
+	return nil
+}
+
+func (e *rawEngine) close() {
+	close(e.done)
+	e.p.recvCQ.Close()
+	e.wg.Wait()
+}

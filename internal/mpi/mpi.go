@@ -1,0 +1,351 @@
+// Package mpi is a miniature MPI point-to-point layer built on the
+// simulated RDMA fabric (package rdma) with pluggable message-matching
+// engines: traditional on-host linked-list matching (the paper's MPI-CPU
+// baseline), DPA-offloaded optimistic tag matching (the contribution,
+// packages core + dpa), and a no-matching raw mode (the RDMA-CPU
+// reference). It provides communicators, blocking and non-blocking
+// send/receive with MPI wildcard semantics, and the eager and rendezvous
+// protocols of §IV-B.
+//
+// A World is a set of in-process ranks fully connected by queue pairs.
+// Incoming messages land in per-rank bounce buffers (NIC memory, §IV-A),
+// are matched by the configured engine, and complete either by copying the
+// eager payload into the user buffer or by issuing an RDMA read to the
+// sender's registered buffer followed by an acknowledgement.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/dpa"
+	"repro/internal/match"
+	"repro/internal/rdma"
+)
+
+// Wildcards, re-exported for the public API.
+const (
+	// AnySource accepts a message from any rank (MPI_ANY_SOURCE).
+	AnySource = int(match.AnySource)
+	// AnyTag accepts a message with any tag (MPI_ANY_TAG).
+	AnyTag = int(match.AnyTag)
+)
+
+// internalComm carries library-internal traffic (barriers) and must not be
+// used by applications.
+const internalComm = match.CommID(-2)
+
+// EngineKind selects the matching engine of a World.
+type EngineKind int
+
+const (
+	// EngineHost matches on the host CPU with the traditional two-queue
+	// linked-list algorithm — Fig. 8 "MPI-CPU".
+	EngineHost EngineKind = iota
+	// EngineOffload matches on the simulated DPA with optimistic tag
+	// matching — Fig. 8 "Optimistic-DPA".
+	EngineOffload
+	// EngineRaw performs no matching: messages complete pending receives
+	// in FIFO order — Fig. 8 "RDMA-CPU" reference. Only the eager protocol
+	// and fully specified receives are meaningful in this mode.
+	EngineRaw
+)
+
+// String implements fmt.Stringer.
+func (k EngineKind) String() string {
+	switch k {
+	case EngineHost:
+		return "host-list"
+	case EngineOffload:
+		return "offload-optimistic"
+	case EngineRaw:
+		return "raw-rdma"
+	}
+	return fmt.Sprintf("EngineKind(%d)", int(k))
+}
+
+// Options configures a World.
+type Options struct {
+	// Engine selects the matching engine (default EngineHost).
+	Engine EngineKind
+	// EagerLimit is the largest payload sent eagerly (default 1024 bytes);
+	// larger messages use the rendezvous protocol.
+	EagerLimit int
+	// RecvDepth is the number of bounce buffers per rank (default 256).
+	RecvDepth int
+	// Matcher configures the offload engine (default core.DefaultConfig).
+	Matcher core.Config
+	// DPA configures the simulated accelerator (offload engine only).
+	DPA dpa.Config
+	// Cost is the fabric latency model.
+	Cost rdma.Cost
+	// CommInfo declares communicator info objects (§IV-E / §VII) ahead of
+	// time: matching assertions to propagate to the offloaded engine, and
+	// offload opt-outs. Each offloaded declared communicator is budgeted
+	// its own table footprint against DPA memory; a communicator that does
+	// not fit falls back to software (host) matching, as §IV-E prescribes.
+	CommInfo map[int32]CommInfo
+}
+
+// CommInfo mirrors an MPI communicator info object: matching assertions
+// (mpi_assert_no_any_source / no_any_tag / allow_overtaking) plus an
+// explicit offload opt-out.
+type CommInfo struct {
+	// Hints are propagated to the offloaded matching engine.
+	Hints core.Hints
+	// NoOffload forces software (host) tag matching for this communicator.
+	NoOffload bool
+}
+
+func (o *Options) fill() {
+	if o.EagerLimit == 0 {
+		o.EagerLimit = 1024
+	}
+	if o.RecvDepth == 0 {
+		o.RecvDepth = 256
+	}
+	if o.Matcher == (core.Config{}) {
+		o.Matcher = core.DefaultConfig()
+	}
+}
+
+// ErrTruncated is reported when a message is longer than the posted buffer.
+var ErrTruncated = errors.New("mpi: message truncated (buffer too small)")
+
+// World is a set of in-process ranks.
+type World struct {
+	opts   Options
+	fabric *rdma.Fabric
+	procs  []*Proc
+
+	closeOnce sync.Once
+}
+
+// NewWorld creates n fully connected ranks.
+func NewWorld(n int, opts Options) (*World, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("mpi: world size must be >= 1, got %d", n)
+	}
+	opts.fill()
+	w := &World{opts: opts, fabric: rdma.NewFabric()}
+	w.fabric.SetCost(opts.Cost)
+
+	for rank := 0; rank < n; rank++ {
+		p, err := newProc(w, rank, n)
+		if err != nil {
+			return nil, err
+		}
+		w.procs = append(w.procs, p)
+	}
+	// Full mesh of QPs, including self-loops for self-sends. The receiving
+	// side of every pair feeds the receiver's shared bounce-buffer pool and
+	// its receive CQ.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			src, dst := w.procs[i], w.procs[j]
+			sendEnd, _ := w.fabric.ConnectPair(
+				rdma.QPConfig{Depth: opts.RecvDepth},
+				rdma.QPConfig{RecvCQ: dst.recvCQ, RQ: dst.srq, Depth: opts.RecvDepth},
+			)
+			src.sendQP[j] = sendEnd
+		}
+	}
+	for _, p := range w.procs {
+		if err := p.start(); err != nil {
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return len(w.procs) }
+
+// Proc returns the process object for a rank.
+func (w *World) Proc(rank int) *Proc { return w.procs[rank] }
+
+// Close tears the world down. Call only after all outstanding traffic has
+// completed (e.g. after Waitall/Barrier).
+func (w *World) Close() {
+	w.closeOnce.Do(func() {
+		for _, p := range w.procs {
+			for _, qp := range p.sendQP {
+				qp.Close()
+			}
+		}
+		for _, p := range w.procs {
+			p.engine.close()
+		}
+	})
+}
+
+// Proc is one rank of a World.
+type Proc struct {
+	w    *World
+	rank int
+	n    int
+
+	sendQP []*rdma.QP
+	recvCQ *rdma.CQ
+	srq    *rdma.RecvQueue
+
+	engine engine
+
+	pendMu  sync.Mutex
+	pending map[uint64]*pendingSend // rendezvous sends by rkey
+
+	barrierRound atomic.Uint32 // per-proc barrier tag generator
+}
+
+// pendingSend tracks an in-flight rendezvous send until its ACK.
+type pendingSend struct {
+	req *Request
+	mr  *rdma.MemoryRegion
+	dst int
+	tag int
+}
+
+func newProc(w *World, rank, n int) (*Proc, error) {
+	p := &Proc{
+		w:       w,
+		rank:    rank,
+		n:       n,
+		sendQP:  make([]*rdma.QP, n),
+		recvCQ:  rdma.NewCQ(),
+		srq:     rdma.NewRecvQueue(w.opts.RecvDepth),
+		pending: make(map[uint64]*pendingSend),
+	}
+	// Stock the bounce-buffer pool (§IV-A: buffers live in NIC memory).
+	bufSize := headerSize + w.opts.EagerLimit
+	for i := 0; i < w.opts.RecvDepth; i++ {
+		p.srq.Post(make([]byte, bufSize), uint64(i))
+	}
+	var err error
+	switch w.opts.Engine {
+	case EngineHost:
+		p.engine, err = newHostEngine(p)
+	case EngineOffload:
+		p.engine, err = newOffloadEngine(p)
+	case EngineRaw:
+		p.engine, err = newRawEngine(p)
+	default:
+		err = fmt.Errorf("mpi: unknown engine %v", w.opts.Engine)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (p *Proc) start() error { return p.engine.start() }
+
+// Rank returns the process rank.
+func (p *Proc) Rank() int { return p.rank }
+
+// Size returns the world size.
+func (p *Proc) Size() int { return p.n }
+
+// Matcher exposes the offload engine's optimistic matcher for statistics
+// and benchmarks; it is nil for other engines.
+func (p *Proc) Matcher() *core.OptimisticMatcher {
+	if e, ok := p.engine.(*offloadEngine); ok {
+		return e.matcher
+	}
+	return nil
+}
+
+// FallbackComms returns the communicators the offload engine runs on
+// software matching (§IV-E fallback); nil for other engines.
+func (p *Proc) FallbackComms() []int32 {
+	if e, ok := p.engine.(*offloadEngine); ok {
+		return e.FallbackComms()
+	}
+	return nil
+}
+
+// HostStats exposes the host engine's matching statistics; the zero value
+// is returned for other engines.
+func (p *Proc) HostStats() match.Stats {
+	if e, ok := p.engine.(*hostEngine); ok {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		return e.lm.Stats()
+	}
+	return match.Stats{}
+}
+
+// deliverMatch finishes a matched receive: eager payload copy or rendezvous
+// RDMA read + acknowledgement. It runs on a DPA thread (offload engine), on
+// the host progress goroutine, or on the posting goroutine when the match
+// came from the unexpected store.
+func (p *Proc) deliverMatch(r *match.Recv, env *match.Envelope) {
+	req := r.User.(*Request)
+	st := Status{Source: int(env.Source), Tag: int(env.Tag)}
+
+	if env.SenderKey != 0 { // rendezvous (§IV-B)
+		n := env.Size
+		if n > len(r.Buffer) {
+			req.complete(st, ErrTruncated)
+			p.sendAck(int(env.Source), env.SenderKey)
+			return
+		}
+		if err := p.w.fabric.Read(r.Buffer[:n], env.SenderKey, 0, n, nil, 0); err != nil {
+			req.complete(st, err)
+			return
+		}
+		st.Count = n
+		p.sendAck(int(env.Source), env.SenderKey)
+		req.complete(st, nil)
+		return
+	}
+
+	// Eager: the payload is in the bounce buffer (arrival path) or in the
+	// stabilized unexpected copy (posting path).
+	if len(env.Data) > len(r.Buffer) {
+		copy(r.Buffer, env.Data)
+		req.complete(st, ErrTruncated)
+		return
+	}
+	st.Count = copy(r.Buffer, env.Data)
+	req.complete(st, nil)
+}
+
+// stabilizeUnexpected copies an eager payload out of the bounce buffer so
+// the buffer can be reposted while the message waits in the unexpected
+// store (§IV-C: "the message is stored for later match into an unexpected
+// message buffer").
+func stabilizeUnexpected(env *match.Envelope) {
+	if env.Data != nil {
+		env.Data = append([]byte(nil), env.Data...)
+	}
+}
+
+// sendAck notifies a sender that its rendezvous data has been read.
+func (p *Proc) sendAck(dst int, rkey uint64) {
+	var buf [headerSize]byte
+	h := header{kind: kindAck, src: int32(p.rank), rkey: rkey}
+	h.encode(buf[:])
+	// Best effort: a closed world drops the ack.
+	_ = p.sendQP[dst].Send(buf[:], 0, 0)
+}
+
+// handleAck completes a pending rendezvous send.
+func (p *Proc) handleAck(h header) {
+	p.pendMu.Lock()
+	ps, ok := p.pending[h.rkey]
+	delete(p.pending, h.rkey)
+	p.pendMu.Unlock()
+	if !ok {
+		return
+	}
+	p.w.fabric.Deregister(ps.mr)
+	ps.req.complete(Status{Source: ps.dst, Tag: ps.tag, Count: len(ps.mr.Buf)}, nil)
+}
+
+// repost returns a bounce buffer to the shared pool at full capacity.
+func (p *Proc) repost(buf []byte) {
+	p.srq.Post(buf[:cap(buf)], 0)
+}

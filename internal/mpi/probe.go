@@ -1,0 +1,76 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/match"
+)
+
+// ErrProbeUnsupported is returned on engines without an unexpected store
+// (the raw RDMA mode has no matching and therefore nothing to probe).
+var ErrProbeUnsupported = errors.New("mpi: probe not supported on this engine")
+
+// Iprobe checks, without blocking or consuming, whether a message matching
+// (src, tag) is available to receive — MPI_Iprobe. It inspects only the
+// unexpected store: a message that would complete an already-posted receive
+// belongs to that receive.
+func (c Comm) Iprobe(src, tag int) (Status, bool, error) {
+	if src != AnySource {
+		if err := c.p.checkPeer(src); err != nil {
+			return Status{}, false, err
+		}
+	}
+	if tag != AnyTag && tag < 0 {
+		return Status{}, false, fmt.Errorf("mpi: negative tag %d", tag)
+	}
+	r := &match.Recv{Source: match.Rank(src), Tag: match.Tag(tag), Comm: c.id}
+
+	var env *match.Envelope
+	var ok bool
+	switch e := c.p.engine.(type) {
+	case *hostEngine:
+		e.mu.Lock()
+		env, ok = e.lm.PeekUnexpected(r)
+		e.mu.Unlock()
+	case *offloadEngine:
+		if len(e.fallbackComms) != 0 && e.fallbackComms[c.id] {
+			e.fbMu.Lock()
+			env, ok = e.fallback.PeekUnexpected(r)
+			e.fbMu.Unlock()
+		} else {
+			env, ok = e.matcher.PeekUnexpected(r)
+		}
+	default:
+		return Status{}, false, ErrProbeUnsupported
+	}
+	if !ok {
+		return Status{}, false, nil
+	}
+	st := Status{Source: int(env.Source), Tag: int(env.Tag), Count: env.Size}
+	if env.SenderKey == 0 {
+		st.Count = len(env.Data)
+	}
+	return st, true, nil
+}
+
+// Probe blocks until a message matching (src, tag) is available — the
+// blocking MPI_Probe. The arrival path runs asynchronously, so Probe polls
+// the unexpected store with a short backoff.
+func (c Comm) Probe(src, tag int) (Status, error) {
+	backoff := time.Microsecond
+	for {
+		st, ok, err := c.Iprobe(src, tag)
+		if err != nil {
+			return Status{}, err
+		}
+		if ok {
+			return st, nil
+		}
+		time.Sleep(backoff)
+		if backoff < 128*time.Microsecond {
+			backoff *= 2
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package mpi
+
+import (
+	"testing"
+)
+
+func TestIprobe(t *testing.T) {
+	for _, kind := range matchingEngines() {
+		t.Run(kind.String(), func(t *testing.T) {
+			w := newTestWorld(t, 2, kind)
+			c := w.Proc(1).World()
+
+			// Nothing there yet.
+			if _, ok, err := c.Iprobe(0, 5); err != nil || ok {
+				t.Fatalf("empty probe: ok=%v err=%v", ok, err)
+			}
+
+			// An unexpected eager message becomes probeable.
+			if err := w.Proc(0).World().Send(1, 5, []byte("probe-me")); err != nil {
+				t.Fatal(err)
+			}
+			st, err := c.Probe(0, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Source != 0 || st.Tag != 5 || st.Count != 8 {
+				t.Fatalf("probe status = %+v", st)
+			}
+
+			// Probing does not consume: probing again still succeeds, and the
+			// message is still receivable.
+			if _, ok, err := c.Iprobe(AnySource, AnyTag); err != nil || !ok {
+				t.Fatalf("re-probe: ok=%v err=%v", ok, err)
+			}
+			buf := make([]byte, 16)
+			if st, err := c.Recv(0, 5, buf); err != nil || string(buf[:st.Count]) != "probe-me" {
+				t.Fatalf("recv after probe: %v %q", err, buf[:st.Count])
+			}
+			// Consumed now.
+			if _, ok, _ := c.Iprobe(0, 5); ok {
+				t.Fatal("probe found a consumed message")
+			}
+		})
+	}
+}
+
+func TestIprobeRendezvousCount(t *testing.T) {
+	w := newTestWorld(t, 2, EngineOffload)
+	big := make([]byte, 50_000)
+	done := make(chan error, 1)
+	go func() { done <- w.Proc(0).World().Send(1, 9, big) }()
+
+	c := w.Proc(1).World()
+	st, err := c.Probe(0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Count != len(big) {
+		t.Fatalf("probe count = %d, want %d (RTS carries the full size)", st.Count, len(big))
+	}
+	buf := make([]byte, len(big))
+	if _, err := c.Recv(0, 9, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIprobeValidation(t *testing.T) {
+	w := newTestWorld(t, 2, EngineHost)
+	c := w.Proc(0).World()
+	if _, _, err := c.Iprobe(9, 0); err == nil {
+		t.Error("bad source accepted")
+	}
+	if _, _, err := c.Iprobe(0, -3); err == nil {
+		t.Error("negative tag accepted")
+	}
+}
+
+func TestIprobeRawUnsupported(t *testing.T) {
+	w := newTestWorld(t, 2, EngineRaw)
+	if _, _, err := w.Proc(0).World().Iprobe(1, 0); err != ErrProbeUnsupported {
+		t.Fatalf("err = %v, want ErrProbeUnsupported", err)
+	}
+}
+
+func TestIprobeFallbackComm(t *testing.T) {
+	w := infoWorld(t, map[int32]CommInfo{3: {NoOffload: true}}, nil)
+	if err := w.Proc(0).Comm(3).Send(1, 2, []byte("sw")); err != nil {
+		t.Fatal(err)
+	}
+	st, err := w.Proc(1).Comm(3).Probe(0, 2)
+	if err != nil || st.Count != 2 {
+		t.Fatalf("fallback probe: %+v %v", st, err)
+	}
+	buf := make([]byte, 4)
+	if _, err := w.Proc(1).Comm(3).Recv(0, 2, buf); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,63 @@
+package mpi
+
+import "sync"
+
+// Status describes a completed point-to-point operation, mirroring
+// MPI_Status: the matched source rank, tag, and received byte count.
+type Status struct {
+	Source int
+	Tag    int
+	Count  int
+}
+
+// Request is a non-blocking operation handle, as returned by Isend and
+// Irecv. Wait blocks until completion.
+type Request struct {
+	done   chan struct{}
+	once   sync.Once
+	status Status
+	err    error
+}
+
+func newRequest() *Request {
+	return &Request{done: make(chan struct{})}
+}
+
+// complete finishes the request exactly once.
+func (r *Request) complete(st Status, err error) {
+	r.once.Do(func() {
+		r.status = st
+		r.err = err
+		close(r.done)
+	})
+}
+
+// Wait blocks until the operation completes and returns its status.
+func (r *Request) Wait() (Status, error) {
+	<-r.done
+	return r.status, r.err
+}
+
+// Test reports whether the operation has completed, without blocking.
+func (r *Request) Test() (Status, bool, error) {
+	select {
+	case <-r.done:
+		return r.status, true, r.err
+	default:
+		return Status{}, false, nil
+	}
+}
+
+// Waitall waits on all requests and returns the first error encountered.
+func Waitall(reqs ...*Request) error {
+	var first error
+	for _, r := range reqs {
+		if r == nil {
+			continue
+		}
+		if _, err := r.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,103 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/match"
+)
+
+// Message kinds on the wire.
+const (
+	kindEager uint8 = iota + 1 // header + full payload (§IV-B eager)
+	kindRTS                    // rendezvous ready-to-send: header + rkey
+	kindAck                    // rendezvous completion acknowledgement
+)
+
+// headerSize is the fixed wire header length. The layout mirrors what the
+// paper's prototype carries: the matching triple, the payload size, the
+// rendezvous memory key, and the three sender-computed hash values of the
+// §IV-D "inline hash values" optimization.
+const headerSize = 64
+
+// header is the decoded wire header.
+type header struct {
+	kind   uint8
+	src    int32
+	tag    int32
+	comm   int32
+	size   uint32
+	rkey   uint64
+	hashes match.InlineHashes
+}
+
+// encode writes the header into dst[:headerSize].
+func (h *header) encode(dst []byte) {
+	_ = dst[headerSize-1]
+	dst[0] = h.kind
+	dst[1], dst[2], dst[3] = 0, 0, 0
+	le := binary.LittleEndian
+	le.PutUint32(dst[4:], uint32(h.src))
+	le.PutUint32(dst[8:], uint32(h.tag))
+	le.PutUint32(dst[12:], uint32(h.comm))
+	le.PutUint32(dst[16:], h.size)
+	le.PutUint64(dst[24:], h.rkey)
+	le.PutUint64(dst[32:], h.hashes.SrcTag)
+	le.PutUint64(dst[40:], h.hashes.Tag)
+	le.PutUint64(dst[48:], h.hashes.Src)
+}
+
+// decodeHeader parses a wire header.
+func decodeHeader(b []byte) (header, error) {
+	if len(b) < headerSize {
+		return header{}, fmt.Errorf("mpi: short header: %d bytes", len(b))
+	}
+	le := binary.LittleEndian
+	h := header{
+		kind: b[0],
+		src:  int32(le.Uint32(b[4:])),
+		tag:  int32(le.Uint32(b[8:])),
+		comm: int32(le.Uint32(b[12:])),
+		size: le.Uint32(b[16:]),
+		rkey: le.Uint64(b[24:]),
+		hashes: match.InlineHashes{
+			SrcTag: le.Uint64(b[32:]),
+			Tag:    le.Uint64(b[40:]),
+			Src:    le.Uint64(b[48:]),
+		},
+	}
+	if h.kind < kindEager || h.kind > kindAck {
+		return header{}, fmt.Errorf("mpi: unknown message kind %d", h.kind)
+	}
+	return h, nil
+}
+
+// payloadOf returns the eager payload slice of a wire buffer, or nil for
+// header-only messages (RTS, ACK).
+func payloadOf(h header, wire []byte) []byte {
+	if h.kind != kindEager {
+		return nil
+	}
+	return wire[headerSize : headerSize+int(h.size)]
+}
+
+// envelopeFromHeader builds the matching envelope for a decoded message.
+// For eager messages, data must be the payload (which may alias a bounce
+// buffer — the unexpected path is responsible for stabilizing it). For RTS
+// messages the envelope carries the sender's memory key instead.
+func envelopeFromHeader(h header, data []byte) *match.Envelope {
+	env := &match.Envelope{
+		Source: match.Rank(h.src),
+		Tag:    match.Tag(h.tag),
+		Comm:   match.CommID(h.comm),
+		Size:   int(h.size),
+		Inline: &match.InlineHashes{SrcTag: h.hashes.SrcTag, Tag: h.hashes.Tag, Src: h.hashes.Src},
+	}
+	switch h.kind {
+	case kindEager:
+		env.Data = data
+	case kindRTS:
+		env.SenderKey = h.rkey
+	}
+	return env
+}

@@ -1,0 +1,108 @@
+package rdma
+
+import "sync"
+
+// Completion is one completion-queue entry.
+type Completion struct {
+	Op    OpType
+	WRID  uint64 // caller-assigned work-request ID
+	Bytes int    // payload length
+	Imm   uint32 // immediate data carried by sends
+	Data  []byte // receive completions: the filled buffer (len = Bytes)
+}
+
+// CQ is a completion queue. Unlike hardware rings it retains a sliding
+// window of entries indexed by absolute completion number, which lets the
+// DPA's threads poll in the strided pattern of §IV-A: thread i waits for
+// completion i, then i+N, and so on.
+type CQ struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	entries []Completion
+	base    uint64 // absolute index of entries[0]
+	next    uint64 // absolute index of the next completion to be pushed
+	closed  bool
+}
+
+// NewCQ returns an empty completion queue.
+func NewCQ() *CQ {
+	q := &CQ{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push appends a completion entry; exported so software paths (loopback
+// devices, tests, host-generated events) can produce completions.
+func (q *CQ) Push(c Completion) {
+	q.mu.Lock()
+	q.entries = append(q.entries, c)
+	q.next++
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// Close wakes all waiters; subsequent waits return ok=false once drained.
+func (q *CQ) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// WaitIndex blocks until the completion with absolute index k exists and
+// returns it. It reports ok=false when the queue was closed before entry k
+// was produced, or when k was already trimmed.
+func (q *CQ) WaitIndex(k uint64) (Completion, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.next <= k {
+		if q.closed {
+			return Completion{}, false
+		}
+		q.cond.Wait()
+	}
+	if k < q.base {
+		return Completion{}, false
+	}
+	return q.entries[k-q.base], true
+}
+
+// Poll returns the completion with absolute index k without blocking.
+func (q *CQ) Poll(k uint64) (Completion, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.next <= k || k < q.base {
+		return Completion{}, false
+	}
+	return q.entries[k-q.base], true
+}
+
+// Next returns the absolute index of the next completion to be produced —
+// i.e. the number of completions so far.
+func (q *CQ) Next() uint64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.next
+}
+
+// Trim discards entries below absolute index k, modelling ring reuse after
+// the consumer has advanced.
+func (q *CQ) Trim(k uint64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if k <= q.base {
+		return
+	}
+	if k > q.next {
+		k = q.next
+	}
+	q.entries = q.entries[k-q.base:]
+	q.base = k
+}
+
+// Closed reports whether the queue has been closed.
+func (q *CQ) Closed() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.closed
+}

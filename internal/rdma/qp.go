@@ -1,0 +1,144 @@
+package rdma
+
+import (
+	"sync"
+)
+
+// wireMsg is a two-sided message in flight.
+type wireMsg struct {
+	data []byte
+	imm  uint32
+}
+
+// recvWR is a posted receive work request: a buffer waiting for a message.
+type recvWR struct {
+	buf  []byte
+	wrID uint64
+}
+
+// RecvQueue is a pool of posted receive buffers. It can be private to one
+// QP or shared among several (the shared-receive-queue pattern the MPI
+// layer uses: all senders of a rank feed one pool of bounce buffers).
+type RecvQueue struct {
+	ch chan recvWR
+}
+
+// NewRecvQueue returns a pool with the given depth. Posting beyond the
+// depth blocks, which models receiver-not-ready backpressure.
+func NewRecvQueue(depth int) *RecvQueue {
+	return &RecvQueue{ch: make(chan recvWR, depth)}
+}
+
+// Post adds a receive buffer to the pool.
+func (rq *RecvQueue) Post(buf []byte, wrID uint64) {
+	rq.ch <- recvWR{buf: buf, wrID: wrID}
+}
+
+// QP is one endpoint of a connected queue pair. Sends complete locally on
+// the send CQ; inbound messages consume buffers from the receive queue and
+// complete on the receive CQ, in per-QP FIFO order.
+type QP struct {
+	fabric *Fabric
+	sendCQ *CQ
+	recvCQ *CQ
+	rq     *RecvQueue
+
+	peer *QP
+	wire chan wireMsg
+
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// QPConfig describes one endpoint of a pair.
+type QPConfig struct {
+	SendCQ *CQ        // completions for outbound sends (may be nil)
+	RecvCQ *CQ        // completions for inbound messages
+	RQ     *RecvQueue // posted receive buffers
+	Depth  int        // wire depth (in-flight messages); default 64
+}
+
+// ConnectPair creates two connected QPs on the fabric and starts their
+// delivery engines.
+func (f *Fabric) ConnectPair(a, b QPConfig) (*QP, *QP) {
+	qa := newQP(f, a)
+	qb := newQP(f, b)
+	qa.peer, qb.peer = qb, qa
+	go qa.deliver()
+	go qb.deliver()
+	return qa, qb
+}
+
+func newQP(f *Fabric, cfg QPConfig) *QP {
+	depth := cfg.Depth
+	if depth <= 0 {
+		depth = 64
+	}
+	rq := cfg.RQ
+	if rq == nil {
+		rq = NewRecvQueue(depth)
+	}
+	return &QP{
+		fabric: f,
+		sendCQ: cfg.SendCQ,
+		recvCQ: cfg.RecvCQ,
+		rq:     rq,
+		wire:   make(chan wireMsg, depth),
+		done:   make(chan struct{}),
+	}
+}
+
+// Send transmits data with immediate value imm. The payload is copied, so
+// the caller may reuse data immediately; the send completion is posted to
+// the send CQ. Returns ErrClosed after Close.
+func (q *QP) Send(data []byte, imm uint32, wrID uint64) error {
+	charge(q.fabric.cost.SendWire + q.fabric.cost.data(len(data)))
+	msg := wireMsg{data: append([]byte(nil), data...), imm: imm}
+	select {
+	case q.peer.wire <- msg:
+	case <-q.peer.done:
+		return ErrClosed
+	}
+	if q.sendCQ != nil {
+		q.sendCQ.Push(Completion{Op: OpSend, WRID: wrID, Bytes: len(data), Imm: imm})
+	}
+	return nil
+}
+
+// PostRecv adds a receive buffer to this endpoint's receive queue.
+func (q *QP) PostRecv(buf []byte, wrID uint64) { q.rq.Post(buf, wrID) }
+
+// deliver pairs inbound messages with posted receive buffers in FIFO order
+// and pushes receive completions.
+func (q *QP) deliver() {
+	for {
+		var msg wireMsg
+		select {
+		case msg = <-q.wire:
+		case <-q.done:
+			return
+		}
+		var wr recvWR
+		select {
+		case wr = <-q.rq.ch:
+		case <-q.done:
+			return
+		}
+		n := copy(wr.buf, msg.data)
+		q.recvCQ.Push(Completion{
+			Op:    OpRecv,
+			WRID:  wr.wrID,
+			Bytes: n,
+			Imm:   msg.imm,
+			Data:  wr.buf[:n],
+		})
+	}
+}
+
+// Close shuts down the endpoint's delivery engine.
+func (q *QP) Close() {
+	q.closeOnce.Do(func() { close(q.done) })
+}
+
+// Fabric returns the fabric the QP belongs to.
+func (q *QP) Fabric() *Fabric { return q.fabric }

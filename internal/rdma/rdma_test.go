@@ -1,0 +1,306 @@
+package rdma
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+)
+
+func pair(t *testing.T) (*QP, *QP, *CQ, *CQ) {
+	t.Helper()
+	f := NewFabric()
+	cqA, cqB := NewCQ(), NewCQ()
+	a, b := f.ConnectPair(
+		QPConfig{SendCQ: NewCQ(), RecvCQ: cqA},
+		QPConfig{SendCQ: NewCQ(), RecvCQ: cqB},
+	)
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return a, b, cqA, cqB
+}
+
+func TestSendRecvRoundTrip(t *testing.T) {
+	a, b, _, cqB := pair(t)
+	_ = b
+	buf := make([]byte, 16)
+	b.PostRecv(buf, 7)
+	if err := a.Send([]byte("hello"), 42, 1); err != nil {
+		t.Fatal(err)
+	}
+	c, ok := cqB.WaitIndex(0)
+	if !ok {
+		t.Fatal("no completion")
+	}
+	if c.Op != OpRecv || c.WRID != 7 || c.Imm != 42 || c.Bytes != 5 {
+		t.Fatalf("completion = %+v", c)
+	}
+	if string(c.Data) != "hello" {
+		t.Fatalf("data = %q", c.Data)
+	}
+}
+
+func TestPerQPOrdering(t *testing.T) {
+	a, b, _, cqB := pair(t)
+	for i := 0; i < 32; i++ {
+		b.PostRecv(make([]byte, 8), uint64(i))
+	}
+	for i := 0; i < 32; i++ {
+		if err := a.Send([]byte{byte(i)}, uint32(i), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < 32; i++ {
+		c, ok := cqB.WaitIndex(i)
+		if !ok {
+			t.Fatal("missing completion")
+		}
+		if c.Imm != uint32(i) {
+			t.Fatalf("completion %d has imm %d: ordering violated", i, c.Imm)
+		}
+	}
+}
+
+func TestSendBlocksUntilReceivePosted(t *testing.T) {
+	a, b, _, cqB := pair(t)
+	done := make(chan struct{})
+	go func() {
+		a.Send([]byte("x"), 0, 1)
+		close(done)
+	}()
+	// The send itself completes (buffered wire), but no receive completion
+	// may appear until a buffer is posted.
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("send blocked unexpectedly")
+	}
+	if _, ok := cqB.Poll(0); ok {
+		t.Fatal("completion before receive was posted")
+	}
+	b.PostRecv(make([]byte, 4), 9)
+	if c, ok := cqB.WaitIndex(0); !ok || c.WRID != 9 {
+		t.Fatal("delivery after post failed")
+	}
+}
+
+func TestRDMARead(t *testing.T) {
+	f := NewFabric()
+	src := []byte("rendezvous payload")
+	mr := f.RegisterMemory(src)
+	dst := make([]byte, len(src))
+	cq := NewCQ()
+	if err := f.Read(dst, mr.RKey, 0, len(src), cq, 5); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst, src) {
+		t.Fatalf("read %q, want %q", dst, src)
+	}
+	if c, ok := cq.WaitIndex(0); !ok || c.Op != OpRead || c.WRID != 5 {
+		t.Fatalf("completion = %+v ok=%v", c, ok)
+	}
+}
+
+func TestRDMAReadOffset(t *testing.T) {
+	f := NewFabric()
+	mr := f.RegisterMemory([]byte("0123456789"))
+	dst := make([]byte, 4)
+	if err := f.Read(dst, mr.RKey, 3, 4, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(dst) != "3456" {
+		t.Fatalf("read %q, want 3456", dst)
+	}
+}
+
+func TestRDMAReadErrors(t *testing.T) {
+	f := NewFabric()
+	mr := f.RegisterMemory(make([]byte, 8))
+	dst := make([]byte, 16)
+	if err := f.Read(dst, 999, 0, 4, nil, 0); err != ErrBadKey {
+		t.Fatalf("bad key: %v", err)
+	}
+	if err := f.Read(dst, mr.RKey, 4, 8, nil, 0); err != ErrBounds {
+		t.Fatalf("bounds: %v", err)
+	}
+	if err := f.Read(dst[:2], mr.RKey, 0, 8, nil, 0); err != ErrBufferSize {
+		t.Fatalf("buffer size: %v", err)
+	}
+	f.Deregister(mr)
+	if err := f.Read(dst, mr.RKey, 0, 4, nil, 0); err != ErrBadKey {
+		t.Fatalf("deregistered: %v", err)
+	}
+}
+
+func TestRDMAWrite(t *testing.T) {
+	f := NewFabric()
+	dst := make([]byte, 8)
+	mr := f.RegisterMemory(dst)
+	if err := f.Write([]byte("abcd"), mr.RKey, 2, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(dst[2:6]) != "abcd" {
+		t.Fatalf("dst = %q", dst)
+	}
+	if err := f.Write(make([]byte, 9), mr.RKey, 0, nil, 0); err != ErrBounds {
+		t.Fatalf("bounds: %v", err)
+	}
+	if err := f.Write([]byte("x"), 12345, 0, nil, 0); err != ErrBadKey {
+		t.Fatalf("bad key: %v", err)
+	}
+}
+
+func TestSharedRecvQueueManySenders(t *testing.T) {
+	// The MPI pattern: one receiver pools bounce buffers in a shared
+	// receive queue fed by several sender QPs; per-sender order must hold.
+	f := NewFabric()
+	recvCQ := NewCQ()
+	srq := NewRecvQueue(256)
+	const senders, msgs = 4, 32
+	qps := make([]*QP, senders)
+	for s := 0; s < senders; s++ {
+		a, _ := f.ConnectPair(
+			QPConfig{SendCQ: nil, RecvCQ: NewCQ()},
+			QPConfig{SendCQ: nil, RecvCQ: recvCQ, RQ: srq},
+		)
+		qps[s] = a
+		defer a.Close()
+	}
+	for i := 0; i < senders*msgs; i++ {
+		srq.Post(make([]byte, 8), uint64(i))
+	}
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < msgs; i++ {
+				qps[s].Send([]byte{byte(s)}, uint32(s<<16|i), 0)
+			}
+		}(s)
+	}
+	wg.Wait()
+	lastPerSender := make([]int, senders)
+	for i := range lastPerSender {
+		lastPerSender[i] = -1
+	}
+	for k := uint64(0); k < senders*msgs; k++ {
+		c, ok := recvCQ.WaitIndex(k)
+		if !ok {
+			t.Fatal("missing completion")
+		}
+		s := int(c.Imm >> 16)
+		i := int(c.Imm & 0xffff)
+		if i != lastPerSender[s]+1 {
+			t.Fatalf("sender %d: message %d after %d (per-QP order violated)", s, i, lastPerSender[s])
+		}
+		lastPerSender[s] = i
+	}
+}
+
+func TestCQStridedWait(t *testing.T) {
+	q := NewCQ()
+	const n = 4
+	var wg sync.WaitGroup
+	got := make([][]uint64, n)
+	for tid := 0; tid < n; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for k := uint64(tid); ; k += n {
+				c, ok := q.WaitIndex(k)
+				if !ok {
+					return
+				}
+				got[tid] = append(got[tid], uint64(c.Imm))
+			}
+		}(tid)
+	}
+	for i := 0; i < 20; i++ {
+		q.Push(Completion{Imm: uint32(i)})
+	}
+	q.Close()
+	wg.Wait()
+	for tid := 0; tid < n; tid++ {
+		for j, v := range got[tid] {
+			if v != uint64(tid+j*n) {
+				t.Fatalf("thread %d saw %v", tid, got[tid])
+			}
+		}
+	}
+}
+
+func TestCQTrim(t *testing.T) {
+	q := NewCQ()
+	for i := 0; i < 10; i++ {
+		q.Push(Completion{Imm: uint32(i)})
+	}
+	q.Trim(5)
+	if _, ok := q.Poll(4); ok {
+		t.Fatal("trimmed entry still visible")
+	}
+	if c, ok := q.Poll(7); !ok || c.Imm != 7 {
+		t.Fatal("post-trim entry lost")
+	}
+	if _, ok := q.WaitIndex(3); ok {
+		t.Fatal("WaitIndex returned a trimmed entry")
+	}
+	q.Trim(3) // no-op: already beyond
+	q.Trim(99)
+	if q.Next() != 10 {
+		t.Fatalf("Next = %d, want 10", q.Next())
+	}
+}
+
+func TestCQCloseUnblocksWaiters(t *testing.T) {
+	q := NewCQ()
+	done := make(chan bool)
+	go func() {
+		_, ok := q.WaitIndex(0)
+		done <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.Close()
+	if ok := <-done; ok {
+		t.Fatal("closed wait reported ok")
+	}
+	if !q.Closed() {
+		t.Fatal("Closed() = false")
+	}
+}
+
+func TestSendAfterCloseFails(t *testing.T) {
+	a, b, _, _ := pair(t)
+	b.Close()
+	// Fill the wire, then the next send must observe the closed peer.
+	var err error
+	for i := 0; i < 100; i++ {
+		if err = a.Send([]byte("x"), 0, 0); err != nil {
+			break
+		}
+	}
+	if err != ErrClosed {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestCostCharge(t *testing.T) {
+	start := time.Now()
+	charge(200 * time.Microsecond)
+	if time.Since(start) < 200*time.Microsecond {
+		t.Fatal("charge returned early")
+	}
+	charge(0) // free
+	c := Cost{PerKiB: time.Microsecond}
+	if d := c.data(2048); d != 2*time.Microsecond {
+		t.Fatalf("data(2048) = %v", d)
+	}
+}
+
+func TestOpTypeString(t *testing.T) {
+	names := map[OpType]string{OpSend: "send", OpRecv: "recv", OpRead: "read", OpWrite: "write", OpType(9): "OpType(9)"}
+	for op, want := range names {
+		if got := op.String(); got != want {
+			t.Errorf("%d = %q, want %q", op, got, want)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+// Package replay executes an MPI trace over a live mini-MPI world, driving
+// every traced point-to-point operation through the configured matching
+// engine. Where the analyzer (package analyzer) *emulates* matching on the
+// trace's own timeline, replay actually runs it: each rank is a goroutine
+// issuing its traced operations in order, messages cross the simulated
+// RDMA fabric, and the offloaded engine matches them in parallel blocks —
+// an end-to-end validation that the full stack sustains real application
+// communication patterns.
+package replay
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/trace"
+)
+
+// Config parameterizes a replay run.
+type Config struct {
+	// Engine selects the matching engine (default EngineHost).
+	Engine mpi.EngineKind
+	// MaxMessageBytes caps traced transfer sizes (default 4096): traces
+	// record element counts that can be large, and replay is about
+	// matching behaviour, not bandwidth.
+	MaxMessageBytes int
+	// Options overrides the world options; Engine above takes precedence.
+	Options mpi.Options
+}
+
+func (c *Config) fill() {
+	if c.MaxMessageBytes == 0 {
+		c.MaxMessageBytes = 4096
+	}
+	c.Options.Engine = c.Engine
+	if c.Options.RecvDepth == 0 {
+		c.Options.RecvDepth = 64
+	}
+	if c.Options.Matcher == (core.Config{}) {
+		c.Options.Matcher = core.Config{
+			Bins: 256, MaxReceives: 4096, BlockSize: 8,
+			EarlyBookingCheck: true, LazyRemoval: true, UseInlineHashes: true,
+		}
+	}
+}
+
+// Result summarizes a replay.
+type Result struct {
+	Ranks       int
+	Sends       int
+	Recvs       int
+	Collectives int
+	Elapsed     time.Duration
+	// Matcher aggregates the offloaded engines' statistics over all ranks
+	// (zero for other engines).
+	Matcher core.EngineStats
+}
+
+// String renders a one-line summary.
+func (r *Result) String() string {
+	return fmt.Sprintf("replayed %d ranks: %d sends, %d recvs, %d collectives in %v",
+		r.Ranks, r.Sends, r.Recvs, r.Collectives, r.Elapsed.Round(time.Millisecond))
+}
+
+// Run replays t. Every rank of the trace becomes a goroutine in a world of
+// the same size; traced receives, sends, progress and collective calls map
+// to Irecv, Isend, Waitall and Barrier respectively.
+func Run(t *trace.Trace, cfg Config) (*Result, error) {
+	cfg.fill()
+	n := t.NumRanks()
+	if n == 0 {
+		return nil, fmt.Errorf("replay: empty trace")
+	}
+	w, err := mpi.NewWorld(n, cfg.Options)
+	if err != nil {
+		return nil, err
+	}
+	defer w.Close()
+
+	res := &Result{Ranks: n}
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	counts := make([]Result, n)
+	for ri := range t.Ranks {
+		wg.Add(1)
+		go func(ri int) {
+			defer wg.Done()
+			counts[ri], errs[ri] = replayRank(w.Proc(int(t.Ranks[ri].Rank)), t.Ranks[ri].Events, cfg)
+		}(ri)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("replay: rank %d: %w", r, err)
+		}
+	}
+	res.Elapsed = time.Since(start)
+	for i := range counts {
+		res.Sends += counts[i].Sends
+		res.Recvs += counts[i].Recvs
+		res.Collectives += counts[i].Collectives
+	}
+	for r := 0; r < n; r++ {
+		if m := w.Proc(r).Matcher(); m != nil {
+			st := m.Stats()
+			res.Matcher.Messages += st.Messages
+			res.Matcher.Blocks += st.Blocks
+			res.Matcher.Optimistic += st.Optimistic
+			res.Matcher.Conflicts += st.Conflicts
+			res.Matcher.FastPath += st.FastPath
+			res.Matcher.SlowPath += st.SlowPath
+			res.Matcher.Unexpected += st.Unexpected
+		}
+	}
+	return res, nil
+}
+
+// replayRank issues one rank's traced operations in order.
+func replayRank(p *mpi.Proc, events []trace.Event, cfg Config) (Result, error) {
+	var counts Result
+	var pending []*mpi.Request
+
+	size := func(count int32) int {
+		s := int(count)
+		if s < 1 {
+			s = 1
+		}
+		if s > cfg.MaxMessageBytes {
+			s = cfg.MaxMessageBytes
+		}
+		return s
+	}
+
+	for _, e := range events {
+		switch e.Kind {
+		case trace.OpRecv:
+			if e.Comm < 0 {
+				continue // reserved communicator in a foreign trace
+			}
+			buf := make([]byte, size(e.Count))
+			req, err := p.Comm(e.Comm).Irecv(int(e.Peer), int(e.Tag), buf)
+			if err != nil {
+				return counts, err
+			}
+			pending = append(pending, req)
+			counts.Recvs++
+		case trace.OpSend:
+			if e.Comm < 0 {
+				continue
+			}
+			req, err := p.Comm(e.Comm).Isend(int(e.Peer), int(e.Tag), make([]byte, size(e.Count)))
+			if err != nil {
+				return counts, err
+			}
+			pending = append(pending, req)
+			counts.Sends++
+		case trace.OpProgress:
+			if err := mpi.Waitall(pending...); err != nil {
+				return counts, err
+			}
+			pending = pending[:0]
+		case trace.OpCollective:
+			// Synchronization superset: every traced collective becomes a
+			// barrier, which itself flows through the matching engine.
+			if err := mpi.Waitall(pending...); err != nil {
+				return counts, err
+			}
+			pending = pending[:0]
+			if err := p.World().Barrier(); err != nil {
+				return counts, err
+			}
+			counts.Collectives++
+		}
+	}
+	if err := mpi.Waitall(pending...); err != nil {
+		return counts, err
+	}
+	// Final synchronization so no rank tears the world down while peers
+	// still expect acknowledgements.
+	return counts, p.World().Barrier()
+}

@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// cacheName is the binary cache file the parser drops next to a trace
+// directory (§V-A: the parser "verifies the existence of a binary cache for
+// the given input trace" and skips re-parsing when one is found).
+const cacheName = ".trace-cache.gob"
+
+// cachePath returns the cache location for a trace directory.
+func cachePath(dir string) string { return filepath.Join(dir, cacheName) }
+
+// SaveCache writes the binary cache for a parsed trace.
+func SaveCache(dir string, t *Trace) error {
+	f, err := os.Create(cachePath(dir))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := gob.NewEncoder(f).Encode(t); err != nil {
+		return fmt.Errorf("trace: encoding cache: %w", err)
+	}
+	return nil
+}
+
+// LoadCache reads a binary cache if present and fresh (at least as new as
+// every rank file in the directory). ok is false when the cache is absent
+// or stale.
+func LoadCache(dir string) (t *Trace, ok bool, err error) {
+	st, err := os.Stat(cachePath(dir))
+	if err != nil {
+		return nil, false, nil // no cache
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, false, err
+	}
+	for _, e := range entries {
+		if e.IsDir() || !anyFormatFile(e.Name()) {
+			continue
+		}
+		fi, err := e.Info()
+		if err != nil {
+			return nil, false, err
+		}
+		if fi.ModTime().After(st.ModTime()) {
+			return nil, false, nil // stale
+		}
+	}
+	f, err := os.Open(cachePath(dir))
+	if err != nil {
+		return nil, false, err
+	}
+	defer f.Close()
+	t = new(Trace)
+	if err := gob.NewDecoder(f).Decode(t); err != nil {
+		return nil, false, fmt.Errorf("trace: decoding cache: %w", err)
+	}
+	return t, true, nil
+}
+
+// anyFormatFile reports whether name belongs to any registered format.
+func anyFormatFile(name string) bool {
+	for _, f := range Formats() {
+		if _, ok := f.MatchFile(name); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Load parses the trace in dir (format auto-detected), consulting and
+// refreshing the binary cache — the full §V-A parsing stage.
+func Load(dir, app string) (*Trace, error) {
+	if t, ok, err := LoadCache(dir); err == nil && ok {
+		return t, nil
+	} else if err != nil {
+		return nil, err
+	}
+	t, err := LoadDir(dir, app)
+	if err != nil {
+		return nil, err
+	}
+	if err := SaveCache(dir, t); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

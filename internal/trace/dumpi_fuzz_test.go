@@ -1,0 +1,32 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseDUMPI hardens the trace parser against arbitrary input: it must
+// never panic or report events with malformed classification.
+func FuzzParseDUMPI(f *testing.F) {
+	f.Add(sampleDUMPI)
+	f.Add("")
+	f.Add("MPI_Isend entering at walltime 1.0, cputime 0 seconds in thread 0.\n")
+	f.Add("int dest=5\nint tag=-1\n")
+	f.Add("MPI_Irecv entering at walltime 1e9, cputime 0 seconds in thread 0.\nint source=MPI_ANY_SOURCE\n")
+	f.Add(strings.Repeat("MPI_Wait entering at walltime 2.0, cputime 0 seconds in thread 0.\n", 10))
+
+	f.Fuzz(func(t *testing.T, input string) {
+		rt, err := ParseDUMPI(strings.NewReader(input), 0)
+		if err != nil {
+			return
+		}
+		for _, e := range rt.Events {
+			if e.Name == "" {
+				t.Fatal("event without a name")
+			}
+			if Classify(e.Name) != e.Kind {
+				t.Fatalf("event %q classified %v, Classify says %v", e.Name, e.Kind, Classify(e.Name))
+			}
+		}
+	})
+}

@@ -1,0 +1,201 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Format is a per-rank trace file format. The paper's analyzer reads DUMPI
+// text traces but notes that "the design of the application allows to
+// easily add other formats" (§V-A); this interface is that seam. Formats
+// self-register their file-name conventions; LoadDir picks the format by
+// inspecting the directory.
+type Format interface {
+	// Name identifies the format ("dumpi", "jsonl", …).
+	Name() string
+	// MatchFile reports whether a file belongs to this format and, if so,
+	// which rank it records.
+	MatchFile(name string) (rank int32, ok bool)
+	// Parse reads one rank's stream.
+	Parse(r io.Reader, rank int32) (*RankTrace, error)
+	// Write emits one rank's stream, round-trippable through Parse.
+	Write(w io.Writer, rt *RankTrace) error
+}
+
+var (
+	formatsMu sync.RWMutex
+	formats   []Format
+)
+
+// RegisterFormat adds a format to the registry. Built-in formats register
+// at init; external packages may add more.
+func RegisterFormat(f Format) {
+	formatsMu.Lock()
+	defer formatsMu.Unlock()
+	formats = append(formats, f)
+}
+
+// Formats returns the registered formats.
+func Formats() []Format {
+	formatsMu.RLock()
+	defer formatsMu.RUnlock()
+	return append([]Format(nil), formats...)
+}
+
+// FormatByName returns a registered format.
+func FormatByName(name string) (Format, bool) {
+	for _, f := range Formats() {
+		if f.Name() == name {
+			return f, true
+		}
+	}
+	return nil, false
+}
+
+// detectFormat finds the format owning the most files in dir.
+func detectFormat(entries []os.DirEntry) Format {
+	best := Format(nil)
+	bestN := 0
+	for _, f := range Formats() {
+		n := 0
+		for _, e := range entries {
+			if e.IsDir() {
+				continue
+			}
+			if _, ok := f.MatchFile(e.Name()); ok {
+				n++
+			}
+		}
+		if n > bestN {
+			best, bestN = f, n
+		}
+	}
+	return best
+}
+
+// LoadDir parses every per-rank trace file in dir with the auto-detected
+// format, in parallel per rank (§V-A).
+func LoadDir(dir, app string) (*Trace, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	f := detectFormat(entries)
+	if f == nil {
+		return nil, fmt.Errorf("trace: no files of any registered format in %s", dir)
+	}
+	type rankFile struct {
+		rank int32
+		path string
+	}
+	var files []rankFile
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if rank, ok := f.MatchFile(e.Name()); ok {
+			files = append(files, rankFile{rank: rank, path: filepath.Join(dir, e.Name())})
+		}
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].rank < files[j].rank })
+
+	t := &Trace{App: app, Ranks: make([]RankTrace, len(files))}
+	errs := make([]error, len(files))
+	var wg sync.WaitGroup
+	for i, rf := range files {
+		wg.Add(1)
+		go func(i int, rf rankFile) {
+			defer wg.Done()
+			fh, err := os.Open(rf.path)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer fh.Close()
+			rt, err := f.Parse(fh, rf.rank)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			t.Ranks[i] = *rt
+		}(i, rf)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// WriteDirFormat writes every rank of t into dir using the named format.
+func WriteDirFormat(dir string, t *Trace, formatName string) error {
+	f, ok := FormatByName(formatName)
+	if !ok {
+		return fmt.Errorf("trace: unknown format %q", formatName)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i := range t.Ranks {
+		rt := &t.Ranks[i]
+		name := fmt.Sprintf("%s-%s-%04d%s", f.Name(), sanitize(t.App), rt.Rank, formatExt(f))
+		fh, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := f.Write(fh, rt); err != nil {
+			fh.Close()
+			return err
+		}
+		if err := fh.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func formatExt(f Format) string {
+	switch f.Name() {
+	case "jsonl":
+		return ".jsonl"
+	default:
+		return ".txt"
+	}
+}
+
+// dumpiFormat adapts the existing DUMPI reader/writer to the Format seam.
+type dumpiFormat struct{}
+
+func (dumpiFormat) Name() string { return "dumpi" }
+
+func (dumpiFormat) MatchFile(name string) (int32, bool) {
+	m := rankFileRe.FindStringSubmatch(name)
+	if m == nil {
+		return 0, false
+	}
+	r, err := strconv.Atoi(m[1])
+	if err != nil {
+		return 0, false
+	}
+	return int32(r), true
+}
+
+func (dumpiFormat) Parse(r io.Reader, rank int32) (*RankTrace, error) {
+	return ParseDUMPI(r, rank)
+}
+
+func (dumpiFormat) Write(w io.Writer, rt *RankTrace) error {
+	return WriteDUMPI(w, rt)
+}
+
+func init() {
+	RegisterFormat(dumpiFormat{})
+	RegisterFormat(jsonlFormat{})
+}
