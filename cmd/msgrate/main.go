@@ -8,19 +8,51 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/bench"
 )
 
 func main() {
 	var (
-		k       = flag.Int("k", 100, "messages per sequence (paper: 100)")
-		reps    = flag.Int("reps", 500, "sequence repetitions (paper: 500)")
-		payload = flag.Int("payload", 8, "eager payload bytes")
-		threads = flag.Int("threads", 32, "DPA threads (paper: 32)")
-		modeled = flag.Bool("modeled", false, "report cost-model rates (core-count independent) instead of wall clock")
+		k          = flag.Int("k", 100, "messages per sequence (paper: 100)")
+		reps       = flag.Int("reps", 500, "sequence repetitions (paper: 500)")
+		payload    = flag.Int("payload", 8, "eager payload bytes")
+		threads    = flag.Int("threads", 32, "DPA threads (paper: 32)")
+		modeled    = flag.Bool("modeled", false, "report cost-model rates (core-count independent) instead of wall clock")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "msgrate: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "msgrate: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "msgrate: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // surface only live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "msgrate: %v\n", err)
+			}
+		}()
+	}
 
 	if *modeled {
 		cm := bench.DefaultCostModel()

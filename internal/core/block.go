@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/bits"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -48,22 +49,53 @@ type Result struct {
 	Path       Path
 }
 
+// barrierSpins bounds how long a barrier waiter busy-polls before yielding
+// to the scheduler. On a single-core host spinning can never observe
+// progress (the completing goroutine needs the core), so the budget drops
+// to zero and waiters yield immediately.
+var barrierSpins = func() int {
+	if runtime.NumCPU() > 1 {
+		return 128
+	}
+	return 0
+}()
+
 // frontier tracks completion of per-thread milestones in thread order: the
-// level is the length of the completed prefix. Threads complete in
-// arbitrary order; waiters sleep on the shared condition variable until the
-// prefix reaches them. Compared with spin barriers this costs O(n) wakeups
-// per block instead of O(n²) scheduler churn — which matters when the
-// simulator runs more logical threads than cores — and it allocates
-// nothing, so blocks can be recycled.
+// completed prefix of threads 0..k-1 is what waiters wait on. Threads
+// complete in arbitrary order. Two interchangeable implementations share
+// the type:
+//
+//   - The default atomic barrier packs the block epoch and a
+//     completed-thread bitmap into one word (epoch<<32 | bitmap — the
+//     epoch is the sense of a sense-reversing barrier, so stale words from
+//     finished blocks can never satisfy a waiter). complete is a single
+//     atomic OR; waitThrough(i) checks that the low i+1 bits are all set,
+//     spinning briefly and then yielding with runtime.Gosched. No lock, no
+//     wakeup storm, no allocation — the cost profile of the DPA's hardware
+//     partial barrier (§III-D1).
+//   - The condvar implementation (Config.CondvarBarrier) advances a level
+//     under a mutex and broadcasts — the pre-optimization host-style
+//     barrier, kept selectable for the BenchmarkAblationBarrier ablation.
 type frontier struct {
+	condvar bool
+	epoch   uint32
+
+	word atomic.Uint64 // epoch<<32 | completed-thread bitmap
+
 	mu    *sync.Mutex
 	cond  *sync.Cond
 	done  [MaxBlockSize]bool
 	level int // all threads < level have completed
 }
 
-// reset prepares the frontier for a new block of n threads.
-func (f *frontier) reset(mu *sync.Mutex, cond *sync.Cond, n int) {
+// reset prepares the frontier for a new block of n threads in epoch e.
+func (f *frontier) reset(condvar bool, mu *sync.Mutex, cond *sync.Cond, n int, e uint32) {
+	f.condvar = condvar
+	f.epoch = e
+	if !condvar {
+		f.word.Store(uint64(e) << 32)
+		return
+	}
 	f.mu, f.cond = mu, cond
 	for i := 0; i < n; i++ {
 		f.done[i] = false
@@ -73,6 +105,10 @@ func (f *frontier) reset(mu *sync.Mutex, cond *sync.Cond, n int) {
 
 // complete marks thread i done and advances the frontier.
 func (f *frontier) complete(i int) {
+	if !f.condvar {
+		f.word.Or(uint64(1) << uint(i))
+		return
+	}
 	f.mu.Lock()
 	f.done[i] = true
 	advanced := false
@@ -90,6 +126,21 @@ func (f *frontier) complete(i int) {
 func (f *frontier) waitThrough(i int) {
 	if i < 0 {
 		return
+	}
+	if !f.condvar {
+		want := uint64(1)<<uint(i+1) - 1
+		for spins := 0; ; spins++ {
+			w := f.word.Load()
+			if w&want == want || uint32(w>>32) != f.epoch {
+				// Prefix complete — or the word belongs to another epoch,
+				// which can only mean this block already finished
+				// (defensive: all waiters join before Finish).
+				return
+			}
+			if spins >= barrierSpins {
+				runtime.Gosched()
+			}
+		}
 	}
 	f.mu.Lock()
 	for f.level <= i {
@@ -155,13 +206,19 @@ func (m *OptimisticMatcher) BeginBlock(n int) *Block {
 	b.n = n
 	b.mask = uint32(1)<<uint(n) - 1
 	b.epoch = m.epoch
-	if b.fcond == nil {
+	condvar := m.cfg.CondvarBarrier
+	if condvar && b.fcond == nil {
 		b.fcond = sync.NewCond(&b.fmu)
 	}
-	b.booked.reset(&b.fmu, b.fcond, n)
-	b.done.reset(&b.fmu, b.fcond, n)
+	b.booked.reset(condvar, &b.fmu, b.fcond, n, b.epoch)
+	b.done.reset(condvar, &b.fmu, b.fcond, n, b.epoch)
 	b.seqBase = m.nextSeq
 	m.nextSeq += uint64(n)
+	// Count the block up front: a handler may complete a user request
+	// mid-block, and an observer woken by that completion must already see
+	// the traffic in Stats(). The outcome counters fold in at Finish.
+	m.stats.blocks.Add(1)
+	m.stats.messages.Add(uint64(n))
 	for i := 0; i < n; i++ {
 		b.cand[i].Store(-1)
 		b.final[i] = nil
@@ -358,37 +415,49 @@ func (b *Block) finalizeUnexpected(tid int, env *match.Envelope, p Path) Result 
 
 // Finish completes the block: it sweeps consumed descriptors out of their
 // chains (the deferred half of lazy removal), releases them to the free
-// pool, folds statistics, and releases the matcher lock.
+// pool, folds statistics, and releases the matcher lock. Per-thread
+// counters are accumulated locally and folded with one atomic add per
+// field, so concurrent Stats() readers neither block nor are blocked.
 func (b *Block) Finish() {
 	m := b.m
+	var agg threadStats
+	var reaped uint64
 	for tid := 0; tid < b.n; tid++ {
 		if d := b.final[tid]; d != nil {
 			if !d.unlinked {
 				unlink(d) // exclusive: matcher lock held, threads joined
-				m.stats.LazyReaped++
+				reaped++
 			}
 			m.table.release(d)
 		}
 		ts := &b.tstats[tid]
-		m.stats.Messages++
-		m.stats.Optimistic += ts.optimistic
-		m.stats.Conflicts += ts.conflicts
-		m.stats.FastPath += ts.fastPath
-		m.stats.SlowPath += ts.slowPath
-		m.stats.Unexpected += ts.unexpected
-		m.stats.Relaxed += ts.relaxed
-		m.depth.ArriveSearches++
-		m.depth.ArriveTraversed += ts.traversed
-		if ts.maxDepth > m.depth.ArriveMaxDepth {
-			m.depth.ArriveMaxDepth = ts.maxDepth
+		agg.traversed += ts.traversed
+		agg.optimistic += ts.optimistic
+		agg.relaxed += ts.relaxed
+		agg.conflicts += ts.conflicts
+		agg.fastPath += ts.fastPath
+		agg.slowPath += ts.slowPath
+		agg.unexpected += ts.unexpected
+		agg.matched += ts.matched
+		if ts.maxDepth > agg.maxDepth {
+			agg.maxDepth = ts.maxDepth
 		}
-		m.depth.Matched += ts.matched
-		m.depth.Unexpected += ts.unexpected
 	}
-	m.stats.Blocks++
+	m.stats.optimistic.Add(agg.optimistic)
+	m.stats.conflicts.Add(agg.conflicts)
+	m.stats.fastPath.Add(agg.fastPath)
+	m.stats.slowPath.Add(agg.slowPath)
+	m.stats.unexpected.Add(agg.unexpected)
+	m.stats.relaxed.Add(agg.relaxed)
+	m.stats.lazyReaped.Add(reaped)
 	if m.cfg.LazyRemoval {
-		m.stats.LazySweeps++
+		m.stats.lazySweeps.Add(1)
 	}
+	m.depth.arriveSearches.Add(uint64(b.n))
+	m.depth.arriveTraversed.Add(agg.traversed)
+	storeMax(&m.depth.arriveMax, agg.maxDepth)
+	m.depth.matched.Add(agg.matched)
+	m.depth.unexpected.Add(agg.unexpected)
 	m.mu.Unlock()
 }
 

@@ -35,6 +35,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/match"
 )
@@ -94,6 +95,11 @@ type Config struct {
 	// path almost never forms. The partial barrier remains the default, as
 	// in the paper.
 	SimultaneousArrival bool
+	// CondvarBarrier selects the legacy mutex+condvar implementation of the
+	// partial barrier instead of the default atomic one. Kept for ablation
+	// (BenchmarkAblationBarrier); both implementations are semantically
+	// identical.
+	CondvarBarrier bool
 }
 
 // DefaultConfig mirrors the paper's prototype configuration (§VI): hash
@@ -153,8 +159,38 @@ type OptimisticMatcher struct {
 	block Block  // recycled arrival block (one active at a time)
 	hints hintTable
 
-	stats EngineStats
-	depth match.Stats
+	// Statistics live in atomic counters so Stats()/DepthStats() snapshots
+	// never take the matcher lock — an arrival block holds that lock for
+	// its whole lifetime, and serializing monitoring reads behind it would
+	// stall both sides.
+	stats engineCounters
+	depth depthCounters
+}
+
+// engineCounters is EngineStats with atomic storage. Writers fold whole
+// blocks at Finish (one Add per field); readers assemble snapshots without
+// any lock.
+type engineCounters struct {
+	blocks, messages, optimistic, conflicts, fastPath, slowPath,
+	unexpected, relaxed, tableFull, lazySweeps, lazyReaped atomic.Uint64
+}
+
+// depthCounters is match.Stats with atomic storage (same reader/writer
+// contract as engineCounters).
+type depthCounters struct {
+	postSearches, postTraversed, postMax,
+	arriveSearches, arriveTraversed, arriveMax,
+	matched, unexpected, queued atomic.Uint64
+}
+
+// storeMax raises a monotone atomic maximum to at least v.
+func storeMax(a *atomic.Uint64, v uint64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }
 
 // postKey is the compatibility key of §III-D3a: consecutive receives with
@@ -247,19 +283,17 @@ func (m *OptimisticMatcher) PostRecv(r *match.Recv) (*match.Envelope, bool, erro
 	// receive's wildcard class needs searching, because every unexpected
 	// message is indexed in all four structures.
 	env, depth := m.unexpected.takeMatch(r)
-	m.depth.PostSearches++
-	m.depth.PostTraversed += depth
-	if depth > m.depth.PostMaxDepth {
-		m.depth.PostMaxDepth = depth
-	}
+	m.depth.postSearches.Add(1)
+	m.depth.postTraversed.Add(depth)
+	storeMax(&m.depth.postMax, depth)
 	if env != nil {
-		m.depth.Matched++
+		m.depth.matched.Add(1)
 		return env, true, nil
 	}
 
 	d := m.table.alloc()
 	if d == nil {
-		m.stats.TableFull++
+		m.stats.tableFull.Add(1)
 		return nil, false, ErrTableFull
 	}
 	d.recv = r
@@ -272,7 +306,7 @@ func (m *OptimisticMatcher) PostRecv(r *match.Recv) (*match.Envelope, bool, erro
 
 	idx := m.indexFor(d.class)
 	idx.insert(d, keyHashFor(d.class, r.Source, r.Tag, r.Comm), m.cfg.LazyRemoval)
-	m.depth.Queued++
+	m.depth.queued.Add(1)
 	return nil, false, nil
 }
 
@@ -285,33 +319,46 @@ func (m *OptimisticMatcher) PeekUnexpected(r *match.Recv) (*match.Envelope, bool
 	return m.unexpected.peek(r)
 }
 
-// PostedDepth returns the number of live posted receives.
+// PostedDepth returns the number of live posted receives. It reads an
+// atomic counter — no matcher lock — so a snapshot taken while an arrival
+// block is in flight reflects some instant within that block.
 func (m *OptimisticMatcher) PostedDepth() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.table.live()
+	return int(m.table.liveCount.Load())
 }
 
-// UnexpectedDepth returns the number of stored unexpected messages.
+// UnexpectedDepth returns the number of stored unexpected messages. The
+// store is self-locking; the matcher lock is not taken.
 func (m *OptimisticMatcher) UnexpectedDepth() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	return m.unexpected.len()
 }
 
 // DepthStats returns cumulative search-depth statistics comparable with the
-// baselines' match.Stats.
+// baselines' match.Stats. The snapshot is assembled from atomic counters
+// without taking the matcher lock; individual fields are each coherent but
+// the snapshot as a whole may interleave with a concurrent block.
 func (m *OptimisticMatcher) DepthStats() match.Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.depth
+	return match.Stats{
+		PostSearches:    m.depth.postSearches.Load(),
+		PostTraversed:   m.depth.postTraversed.Load(),
+		PostMaxDepth:    m.depth.postMax.Load(),
+		ArriveSearches:  m.depth.arriveSearches.Load(),
+		ArriveTraversed: m.depth.arriveTraversed.Load(),
+		ArriveMaxDepth:  m.depth.arriveMax.Load(),
+		Matched:         m.depth.matched.Load(),
+		Unexpected:      m.depth.unexpected.Load(),
+		Queued:          m.depth.queued.Load(),
+	}
 }
 
 // ResetDepthStats zeroes the search-depth statistics.
 func (m *OptimisticMatcher) ResetDepthStats() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.depth = match.Stats{}
+	for _, c := range []*atomic.Uint64{
+		&m.depth.postSearches, &m.depth.postTraversed, &m.depth.postMax,
+		&m.depth.arriveSearches, &m.depth.arriveTraversed, &m.depth.arriveMax,
+		&m.depth.matched, &m.depth.unexpected, &m.depth.queued,
+	} {
+		c.Store(0)
+	}
 }
 
 // EngineStats counts engine-internal events for benchmarks and ablations.
@@ -329,18 +376,34 @@ type EngineStats struct {
 	LazyReaped uint64 // consumed entries unlinked by sweeps
 }
 
-// Stats returns a snapshot of the engine statistics.
+// Stats returns a snapshot of the engine statistics, assembled from atomic
+// counters without taking the matcher lock.
 func (m *OptimisticMatcher) Stats() EngineStats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.stats
+	return EngineStats{
+		Blocks:     m.stats.blocks.Load(),
+		Messages:   m.stats.messages.Load(),
+		Optimistic: m.stats.optimistic.Load(),
+		Conflicts:  m.stats.conflicts.Load(),
+		FastPath:   m.stats.fastPath.Load(),
+		SlowPath:   m.stats.slowPath.Load(),
+		Unexpected: m.stats.unexpected.Load(),
+		Relaxed:    m.stats.relaxed.Load(),
+		TableFull:  m.stats.tableFull.Load(),
+		LazySweeps: m.stats.lazySweeps.Load(),
+		LazyReaped: m.stats.lazyReaped.Load(),
+	}
 }
 
 // ResetStats zeroes the engine statistics.
 func (m *OptimisticMatcher) ResetStats() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.stats = EngineStats{}
+	for _, c := range []*atomic.Uint64{
+		&m.stats.blocks, &m.stats.messages, &m.stats.optimistic,
+		&m.stats.conflicts, &m.stats.fastPath, &m.stats.slowPath,
+		&m.stats.unexpected, &m.stats.relaxed, &m.stats.tableFull,
+		&m.stats.lazySweeps, &m.stats.lazyReaped,
+	} {
+		c.Store(0)
+	}
 }
 
 // Footprint is the §IV-E DPA memory model of a configuration.

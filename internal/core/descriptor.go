@@ -109,6 +109,12 @@ type descriptorTable struct {
 	slots []descriptor
 	free  []int32
 	used  int
+
+	// liveCount tracks allocated descriptors atomically so PostedDepth
+	// snapshots do not need the matcher lock. Between a thread's consume
+	// and the block's Finish a consumed descriptor still counts — the
+	// counter reflects an instant, not a linearized depth.
+	liveCount atomic.Int64
 }
 
 func newDescriptorTable(n int) *descriptorTable {
@@ -138,6 +144,7 @@ func (t *descriptorTable) alloc() *descriptor {
 	d.owner = nil
 	d.unlinked = false
 	t.used++
+	t.liveCount.Add(1)
 	return d
 }
 
@@ -147,6 +154,7 @@ func (t *descriptorTable) release(d *descriptor) {
 	d.recv = nil
 	t.free = append(t.free, d.slot)
 	t.used--
+	t.liveCount.Add(-1)
 }
 
 // get returns the descriptor at slot i.

@@ -116,6 +116,7 @@ func TestAblationsMatchGolden(t *testing.T) {
 		"one-bin":          func(c *core.Config) { c.Bins = 1 },
 		"simultaneous":     func(c *core.Config) { c.SimultaneousArrival = true },
 		"simultaneous-raw": func(c *core.Config) { c.SimultaneousArrival = true; c.EarlyBookingCheck = false },
+		"condvar-barrier":  func(c *core.Config) { c.CondvarBarrier = true },
 	}
 	sc := matchtest.Config{Sources: 2, Tags: 2, Comms: 1, PSrcWild: 0.3, PTagWild: 0.3, Burstiness: 5}
 	for name, mut := range mutations {

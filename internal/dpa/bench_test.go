@@ -1,0 +1,70 @@
+package dpa
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/match"
+	"repro/internal/rdma"
+)
+
+// BenchmarkArrivalHotPath measures the steady-state arrival datapath end to
+// end — CQ batch drain, block formation, pooled envelope decode, optimistic
+// match, handler dispatch — for a single-process eager ping flood where
+// every message finds a pre-posted receive. With the pooling and batching
+// in place the loop must run at zero heap allocations per message
+// (ReportAllocs verifies; EXPERIMENTS.md records the numbers).
+func BenchmarkArrivalHotPath(b *testing.B) {
+	acc := MustNew(Config{Threads: 8})
+	defer acc.Close()
+	matcher := core.MustNew(core.Config{
+		Bins: 2048, MaxReceives: 8192, BlockSize: 8,
+		EarlyBookingCheck: true, LazyRemoval: true, UseInlineHashes: true,
+	})
+	cq := rdma.NewCQ()
+	p := NewPipeline(acc, matcher, cq)
+	p.Decode = func(c rdma.Completion, env *match.Envelope) *match.Envelope {
+		env.Source = 1
+		env.Tag = 5
+		return env
+	}
+	p.Handle = func(tid int, res core.Result, c rdma.Completion) {}
+	p.Start()
+	defer p.Stop()
+
+	// A ring of reusable receives: slot i%window is guaranteed released by
+	// the time it is reposted because the flood never runs more than
+	// 2*lag ahead of the pipeline (see the backpressure check below).
+	const window = 512
+	const lag = 128
+	recvs := make([]match.Recv, window)
+	comp := rdma.Completion{Op: rdma.OpRecv}
+
+	pushed := 0
+	pump := func(n int) {
+		for i := 0; i < n; i++ {
+			r := &recvs[pushed%window]
+			r.Source, r.Tag = 1, 5
+			if _, _, err := matcher.PostRecv(r); err != nil {
+				b.Fatal(err)
+			}
+			cq.Push(comp)
+			pushed++
+			if pushed%lag == 0 {
+				for p.Messages() < uint64(pushed-lag) {
+					runtime.Gosched()
+				}
+			}
+		}
+		for p.Messages() < uint64(pushed) {
+			runtime.Gosched()
+		}
+	}
+
+	pump(2 * window) // warm the pools, CQ backing array, and scheduler
+	b.ReportAllocs()
+	b.ResetTimer()
+	pump(b.N)
+	b.StopTimer()
+}

@@ -109,17 +109,23 @@ type Accelerator struct {
 	threads int
 	arena   *Arena
 
-	work chan task
+	work chan *blockState
 	wg   sync.WaitGroup
 
 	activations atomic.Uint64
 	closed      atomic.Bool
 }
 
-type task struct {
-	tid int
-	fn  func(tid int)
-	wg  *sync.WaitGroup
+// blockState is one block's dispatch record: workers steal thread IDs from
+// next until the block is exhausted. It is allocated fresh per block (one
+// small allocation amortized over the whole block) because a worker may
+// still be inspecting it after the final activation finishes — recycling it
+// into a pool could leak a stale worker into the next block.
+type blockState struct {
+	n    int
+	fn   func(tid int)
+	next atomic.Int32
+	wg   *sync.WaitGroup
 }
 
 // Config parameterizes the simulated device.
@@ -144,7 +150,7 @@ func New(cfg Config) (*Accelerator, error) {
 	a := &Accelerator{
 		threads: cfg.Threads,
 		arena:   NewArena(cfg.MemoryBytes),
-		work:    make(chan task),
+		work:    make(chan *blockState, cfg.Threads),
 	}
 	for i := 0; i < cfg.Threads; i++ {
 		a.wg.Add(1)
@@ -163,15 +169,32 @@ func MustNew(cfg Config) *Accelerator {
 }
 
 // worker executes handler activations to completion, one at a time — the
-// DPA's run-to-completion discipline.
+// DPA's run-to-completion discipline. Activations are claimed by stealing
+// thread IDs from the block's counter, so a free worker drains as many
+// consecutive activations as it can without a scheduler round-trip, while
+// an activation that blocks mid-handler leaves the remaining IDs to the
+// other workers woken by the block's tickets.
 func (a *Accelerator) worker() {
 	defer a.wg.Done()
-	for t := range a.work {
-		t.fn(t.tid)
-		a.activations.Add(1)
-		t.wg.Done()
+	for bs := range a.work {
+		for {
+			tid := int(bs.next.Add(1)) - 1
+			if tid >= bs.n {
+				break
+			}
+			bs.fn(tid)
+			a.activations.Add(1)
+			bs.wg.Done()
+		}
 	}
 }
+
+// wgPool recycles the WaitGroups RunBlock hands to its blocks: a WaitGroup
+// escapes to the heap through the block state, and without pooling every
+// block would allocate one. Reuse is safe because a WaitGroup whose counter
+// returned to zero is indistinguishable from a fresh one, and workers never
+// touch the WaitGroup after their final Done.
+var wgPool = sync.Pool{New: func() any { return new(sync.WaitGroup) }}
 
 // RunBlock executes fn(0) … fn(n-1) concurrently on the pool and waits for
 // all of them — one activation per message of a matching block. n may not
@@ -180,12 +203,16 @@ func (a *Accelerator) RunBlock(n int, fn func(tid int)) {
 	if n > a.threads {
 		panic(fmt.Sprintf("dpa: RunBlock(%d) exceeds %d threads", n, a.threads))
 	}
-	var wg sync.WaitGroup
+	wg := wgPool.Get().(*sync.WaitGroup)
 	wg.Add(n)
-	for tid := 0; tid < n; tid++ {
-		a.work <- task{tid: tid, fn: fn, wg: &wg}
+	bs := &blockState{n: n, fn: fn, wg: wg}
+	// One ticket per activation wakes at most n workers; any worker that
+	// arrives after the IDs run out drops its ticket and moves on.
+	for i := 0; i < n; i++ {
+		a.work <- bs
 	}
 	wg.Wait()
+	wgPool.Put(wg)
 }
 
 // Threads returns the execution-unit count.

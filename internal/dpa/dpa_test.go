@@ -134,8 +134,10 @@ func TestPipelineEndToEnd(t *testing.T) {
 	var mu sync.Mutex
 	outcomes := make(map[uint64]outcome)
 
-	p.Decode = func(c rdma.Completion) *match.Envelope {
-		return &match.Envelope{Source: match.Rank(c.Imm >> 16), Tag: match.Tag(c.Imm & 0xffff)}
+	p.Decode = func(c rdma.Completion, env *match.Envelope) *match.Envelope {
+		env.Source = match.Rank(c.Imm >> 16)
+		env.Tag = match.Tag(c.Imm & 0xffff)
+		return env
 	}
 	p.Handle = func(tid int, res core.Result, c rdma.Completion) {
 		mu.Lock()
@@ -191,4 +193,57 @@ func TestPipelineRequiresCallbacks(t *testing.T) {
 		}
 	}()
 	p.Start()
+}
+
+// TestPipelineStopDrainRace races Stop against a producer that keeps
+// pushing completions. The pipeline must neither deadlock nor lose
+// already-drained messages, and Messages() must be stable once Stop
+// returns. Run under -race in CI.
+func TestPipelineStopDrainRace(t *testing.T) {
+	for iter := 0; iter < 20; iter++ {
+		acc := MustNew(Config{Threads: 4})
+		matcher := core.MustNew(core.Config{
+			Bins: 64, MaxReceives: 4096, BlockSize: 4, LazyRemoval: true,
+		})
+		cq := rdma.NewCQ()
+		p := NewPipeline(acc, matcher, cq)
+		var handled atomic.Uint64
+		p.Decode = func(c rdma.Completion, env *match.Envelope) *match.Envelope {
+			env.Source = 1
+			env.Tag = match.Tag(c.Imm)
+			return env
+		}
+		p.Handle = func(tid int, res core.Result, c rdma.Completion) {
+			handled.Add(1)
+		}
+		p.Start()
+
+		// Bounded flood: Stop drains whatever is in flight, so the producer
+		// must terminate on its own for Stop's drain loop to converge.
+		var pushed atomic.Uint64
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := uint32(0); i < 2000; i++ {
+				cq.Push(rdma.Completion{Op: rdma.OpRecv, Imm: i})
+				pushed.Add(1)
+			}
+		}()
+
+		// Let some traffic flow, then stop mid-stream.
+		for handled.Load() < 8 {
+		}
+		p.Stop()
+		wg.Wait()
+
+		got := p.Messages()
+		if got != handled.Load() {
+			t.Fatalf("iter %d: Messages()=%d but Handle ran %d times", iter, got, handled.Load())
+		}
+		if got > pushed.Load() {
+			t.Fatalf("iter %d: processed %d of %d pushed", iter, got, pushed.Load())
+		}
+		acc.Close()
+	}
 }

@@ -15,14 +15,21 @@ import (
 // optimistic match), and hands every result to a protocol callback that
 // executes the eager copy, the rendezvous read, or unexpected-message
 // storage — all without host involvement.
+//
+// The datapath is engineered for the steady state: completions are drained
+// in batches (one CQ lock acquisition per block), block formation is
+// double-buffered (block k+1 is gathered and classified while block k's
+// handlers run), and envelopes come from a pool — a saturated pipeline
+// allocates nothing per message.
 type Pipeline struct {
 	acc     *Accelerator
 	matcher *core.OptimisticMatcher
 	cq      *rdma.CQ
 
 	// Decode converts a receive completion (header + bounce buffer) into a
-	// matching envelope. It runs on a DPA thread.
-	Decode func(c rdma.Completion) *match.Envelope
+	// matching envelope, filling env (drawn from Envelopes) and returning
+	// it. It runs on a DPA thread.
+	Decode func(c rdma.Completion, env *match.Envelope) *match.Envelope
 	// Handle executes protocol handling for one match result on a DPA
 	// thread: eager copy to the user buffer, rendezvous RDMA read, or
 	// unexpected-message stabilization (copying the payload out of the
@@ -36,6 +43,13 @@ type Pipeline struct {
 	// Control handles non-matching completions; required when Classify is set.
 	Control func(c rdma.Completion)
 
+	// Envelopes supplies the reusable envelopes passed to Decode. Matched
+	// envelopes return to the pool right after Handle; unexpected ones
+	// escape into the matcher's store, and whoever delivers them later is
+	// responsible for putting them back. NewPipeline installs a private
+	// pool; replace it before Start to share one across components.
+	Envelopes *match.EnvelopePool
+
 	cursor   uint64
 	stopOnce sync.Once
 	done     chan struct{}
@@ -47,7 +61,11 @@ type Pipeline struct {
 
 // NewPipeline wires a pipeline; call Start to begin draining.
 func NewPipeline(acc *Accelerator, m *core.OptimisticMatcher, cq *rdma.CQ) *Pipeline {
-	return &Pipeline{acc: acc, matcher: m, cq: cq, done: make(chan struct{})}
+	return &Pipeline{
+		acc: acc, matcher: m, cq: cq,
+		Envelopes: new(match.EnvelopePool),
+		done:      make(chan struct{}),
+	}
 }
 
 // Start launches the block-forming loop. Decode and Handle must be set.
@@ -76,55 +94,112 @@ func (p *Pipeline) Blocks() uint64 { return p.blocks.Load() }
 // Messages returns the number of messages processed.
 func (p *Pipeline) Messages() uint64 { return p.messages.Load() }
 
-// run forms blocks: it blocks for the next completion, then opportunistically
-// folds in whatever further completions are already available, up to the
-// matcher's block size (the stream-of-blocks model of §III-A).
+// window is one half of the double buffer: a scratch array the CQ batch is
+// drained into and the filtered match-bound subset. Both are allocated once
+// and recycled for the pipeline's lifetime.
+type window struct {
+	scratch []rdma.Completion
+	comps   []rdma.Completion
+}
+
+// blockRunner carries the per-block state of the handler activations. Its
+// step method is bound once (a single closure allocation per pipeline) so
+// dispatching a block allocates nothing.
+type blockRunner struct {
+	p     *Pipeline
+	comps []rdma.Completion
+	blk   *core.Block
+}
+
+// step is one handler activation (§IV-B): decode into a pooled envelope,
+// match, run the protocol handler, recycle. Unexpected envelopes escape to
+// the matcher's store and are recycled by their eventual deliverer.
+func (r *blockRunner) step(tid int) {
+	c := r.comps[tid]
+	env := r.p.Envelopes.Get()
+	env = r.p.Decode(c, env)
+	res := r.blk.Match(tid, env)
+	r.p.Handle(tid, res, c)
+	if !res.Unexpected {
+		r.p.Envelopes.Put(env)
+	}
+}
+
+// run forms blocks: it drains the next batch of completions — blocking for
+// the first — classifies it, and hands match-bound completions to the
+// launcher goroutine, which runs the matching blocks in arrival order.
+// Two windows ping-pong between the two goroutines, so while the
+// accelerator executes block k's handlers the formation loop is already
+// gathering and classifying block k+1 (the stream-of-blocks model of
+// §III-A, pipelined).
 func (p *Pipeline) run() {
 	defer p.wg.Done()
 	blockSize := p.matcher.Config().BlockSize
+
+	var windows [2]window
+	idle := make(chan *window, len(windows))
+	for i := range windows {
+		windows[i].scratch = make([]rdma.Completion, blockSize)
+		windows[i].comps = make([]rdma.Completion, 0, blockSize)
+		idle <- &windows[i]
+	}
+
+	jobs := make(chan *window)
+	var lwg sync.WaitGroup
+	lwg.Add(1)
+	go func() { // launcher: executes matching blocks in arrival order
+		defer lwg.Done()
+		run := blockRunner{p: p}
+		step := run.step
+		for w := range jobs {
+			n := len(w.comps)
+			run.comps = w.comps
+			run.blk = p.matcher.BeginBlock(n)
+			p.acc.RunBlock(n, step)
+			run.blk.Finish()
+			p.blocks.Add(1)
+			p.messages.Add(uint64(n))
+			idle <- w
+		}
+	}()
+	defer func() {
+		close(jobs)
+		lwg.Wait()
+	}()
+
 	for {
-		first, ok := p.cq.WaitIndex(p.cursor)
+		w := <-idle
+		n, ok := p.cq.WaitBatch(p.cursor, w.scratch)
 		if !ok {
 			return
 		}
-		gathered := []rdma.Completion{first}
-		for len(gathered) < blockSize {
-			c, ok := p.cq.Poll(p.cursor + uint64(len(gathered)))
-			if !ok {
-				break
-			}
-			gathered = append(gathered, c)
-		}
+		gathered := w.scratch[:n]
 
-		// Control traffic (e.g. rendezvous ACKs) bypasses matching.
-		comps := gathered[:0:0]
+		// Control traffic (e.g. rendezvous ACKs) bypasses matching; it is
+		// handled here on the formation loop, overlapping the previous
+		// block's handlers.
+		w.comps = w.comps[:0]
 		for _, c := range gathered {
 			if p.Classify != nil && !p.Classify(c) {
 				p.Control(c)
 				continue
 			}
-			comps = append(comps, c)
+			w.comps = append(w.comps, c)
 		}
 
-		if n := len(comps); n > 0 {
-			blk := p.matcher.BeginBlock(n)
-			p.acc.RunBlock(n, func(tid int) {
-				env := p.Decode(comps[tid])
-				res := blk.Match(tid, env)
-				p.Handle(tid, res, comps[tid])
-			})
-			blk.Finish()
-			p.blocks.Add(1)
-			p.messages.Add(uint64(n))
-		}
-
-		p.cursor += uint64(len(gathered))
+		p.cursor += uint64(n)
 		p.cq.Trim(p.cursor)
+
+		if len(w.comps) > 0 {
+			jobs <- w
+		} else {
+			idle <- w
+		}
 
 		select {
 		case <-p.done:
 			// Drain whatever is still immediately available, then exit.
-			if _, ok := p.cq.Poll(p.cursor); !ok {
+			if p.cq.Ready() <= p.cursor {
 				return
 			}
 		default:

@@ -30,13 +30,19 @@ type SPINPipeline struct {
 
 	// MTU is the packet size payload handlers operate on (default 256).
 	MTU int
-	// Decode parses a completion into an envelope (header packet view).
-	Decode func(c rdma.Completion) *match.Envelope
+	// Decode parses a completion into an envelope (header packet view),
+	// filling env (drawn from Envelopes) and returning it.
+	Decode func(c rdma.Completion, env *match.Envelope) *match.Envelope
 	// Payload processes one MTU chunk of a matched message on an HPU; off
 	// is the chunk offset within the message payload. It may be nil.
 	Payload func(res core.Result, c rdma.Completion, off, n int)
 	// Complete runs once per message after its payload handlers finish.
 	Complete func(res core.Result, c rdma.Completion)
+
+	// Envelopes supplies reusable envelopes to Decode; matched envelopes
+	// are recycled after their completion handler, unexpected ones escape
+	// to the matcher's store.
+	Envelopes *match.EnvelopePool
 
 	cursor   uint64
 	stopOnce sync.Once
@@ -49,7 +55,11 @@ type SPINPipeline struct {
 
 // NewSPINPipeline wires a sPIN-personality pipeline.
 func NewSPINPipeline(acc *Accelerator, m *core.OptimisticMatcher, cq *rdma.CQ) *SPINPipeline {
-	return &SPINPipeline{acc: acc, matcher: m, cq: cq, MTU: 256, done: make(chan struct{})}
+	return &SPINPipeline{
+		acc: acc, matcher: m, cq: cq, MTU: 256,
+		Envelopes: new(match.EnvelopePool),
+		done:      make(chan struct{}),
+	}
 }
 
 // Start launches the stream loop. Decode and Complete must be set.
@@ -80,26 +90,21 @@ func (p *SPINPipeline) Packets() uint64 { return p.packets.Load() }
 func (p *SPINPipeline) run() {
 	defer p.wg.Done()
 	blockSize := p.matcher.Config().BlockSize
+	scratch := make([]rdma.Completion, blockSize)
+	resultBuf := make([]core.Result, blockSize)
 	for {
-		first, ok := p.cq.WaitIndex(p.cursor)
+		n, ok := p.cq.WaitBatch(p.cursor, scratch)
 		if !ok {
 			return
 		}
-		comps := []rdma.Completion{first}
-		for len(comps) < blockSize {
-			c, ok := p.cq.Poll(p.cursor + uint64(len(comps)))
-			if !ok {
-				break
-			}
-			comps = append(comps, c)
-		}
-		n := len(comps)
+		comps := scratch[:n]
 
 		// Header handlers: the optimistic matching block.
-		results := make([]core.Result, n)
+		results := resultBuf[:n]
 		blk := p.matcher.BeginBlock(n)
 		p.acc.RunBlock(n, func(tid int) {
-			env := p.Decode(comps[tid])
+			env := p.Envelopes.Get()
+			env = p.Decode(comps[tid], env)
 			results[tid] = blk.Match(tid, env)
 		})
 		blk.Finish()
@@ -141,6 +146,11 @@ func (p *SPINPipeline) run() {
 		p.acc.RunBlock(n, func(tid int) {
 			p.Complete(results[tid], comps[tid])
 		})
+		for _, res := range results {
+			if !res.Unexpected {
+				p.Envelopes.Put(res.Env)
+			}
+		}
 
 		p.cursor += uint64(n)
 		p.cq.Trim(p.cursor)

@@ -25,8 +25,10 @@ func TestSPINPipelineEndToEnd(t *testing.T) {
 	copied := map[uint32][]bool{} // per-message chunk coverage
 	completed := map[uint32]bool{}
 
-	p.Decode = func(c rdma.Completion) *match.Envelope {
-		return &match.Envelope{Source: match.Rank(c.Imm % 4), Tag: 5}
+	p.Decode = func(c rdma.Completion, env *match.Envelope) *match.Envelope {
+		env.Source = match.Rank(c.Imm % 4)
+		env.Tag = 5
+		return env
 	}
 	p.Payload = func(res core.Result, c rdma.Completion, off, n int) {
 		mu.Lock()
@@ -106,8 +108,10 @@ func TestSPINPipelineZeroPayload(t *testing.T) {
 	matcher := core.MustNew(core.Config{Bins: 16, MaxReceives: 16, BlockSize: 4, LazyRemoval: true})
 	cq := rdma.NewCQ()
 	p := NewSPINPipeline(acc, matcher, cq)
-	p.Decode = func(c rdma.Completion) *match.Envelope {
-		return &match.Envelope{Source: 1, Tag: 1}
+	p.Decode = func(c rdma.Completion, env *match.Envelope) *match.Envelope {
+		env.Source = 1
+		env.Tag = 1
+		return env
 	}
 	p.Complete = func(res core.Result, c rdma.Completion) {}
 	p.Start()

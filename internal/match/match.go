@@ -56,14 +56,36 @@ type Envelope struct {
 	SenderKey uint64
 	// Inline optionally carries sender-computed hash values from the
 	// message header (the §IV-D "inline hash values" optimization); engines
-	// configured to trust them skip hashing on the accelerator.
+	// configured to trust them skip hashing on the accelerator. Nil means
+	// the header carried no hashes and the engine computes its own.
 	Inline *InlineHashes
+
+	// inlineScratch is a reusable backing for Inline owned by pooled
+	// envelopes (see EnvelopePool): SetInline writes into it instead of
+	// allocating, and Reset retains it across recycling.
+	inlineScratch *InlineHashes
 }
 
 // String implements fmt.Stringer for diagnostics.
 func (e *Envelope) String() string {
 	return fmt.Sprintf("msg{src=%d tag=%d comm=%d seq=%d size=%d}",
 		e.Source, e.Tag, e.Comm, e.Seq, e.Size)
+}
+
+// Reset clears e for reuse, retaining its reusable Inline backing.
+func (e *Envelope) Reset() {
+	scratch := e.inlineScratch
+	*e = Envelope{inlineScratch: scratch}
+}
+
+// SetInline records sender-computed hashes in e's reusable backing and
+// points Inline at it, allocating the backing only on first use.
+func (e *Envelope) SetInline(h InlineHashes) {
+	if e.inlineScratch == nil {
+		e.inlineScratch = new(InlineHashes)
+	}
+	*e.inlineScratch = h
+	e.Inline = e.inlineScratch
 }
 
 // Recv is a posted receive request. Source and Tag may be wildcards.

@@ -1,0 +1,38 @@
+package match
+
+import "sync"
+
+// EnvelopePool recycles Envelopes across arrival cycles so the steady-state
+// arrival path performs no heap allocation per message. Each pooled
+// envelope owns a backing InlineHashes value (filled via SetInline and
+// reused across cycles), so decoding a wire header into a pooled envelope
+// allocates nothing either.
+//
+// Ownership protocol: Get hands out a zeroed envelope; the caller fills it,
+// matches it, and must Put it back exactly once — after the match has been
+// delivered (matched path) or after the unexpected store has released it
+// (unexpected path). An envelope must not be referenced after Put.
+//
+// The zero value is ready to use.
+type EnvelopePool struct {
+	p sync.Pool
+}
+
+// Get returns a zeroed envelope. Its Inline field is nil until the caller
+// installs hashes with SetInline.
+func (ep *EnvelopePool) Get() *Envelope {
+	if e, ok := ep.p.Get().(*Envelope); ok {
+		return e
+	}
+	return new(Envelope)
+}
+
+// Put resets e (keeping its Inline backing) and returns it to the pool.
+// Putting nil is a no-op.
+func (ep *EnvelopePool) Put(e *Envelope) {
+	if e == nil {
+		return
+	}
+	e.Reset()
+	ep.p.Put(e)
+}

@@ -112,12 +112,23 @@ func (p *Proc) isend(dst, tag int, comm match.CommID, data []byte) (*Request, er
 	}
 
 	if len(data) <= p.w.opts.EagerLimit {
-		buf := make([]byte, headerSize+len(data))
+		// Stage header+payload in a pooled buffer: QP.Send copies before
+		// returning, so the buffer goes straight back to the pool.
+		bp := p.w.stagebufs.Get().(*[]byte)
+		buf := *bp
+		if need := headerSize + len(data); cap(buf) < need {
+			buf = make([]byte, need)
+		} else {
+			buf = buf[:need]
+		}
 		h := header{kind: kindEager, src: int32(p.rank), tag: int32(tag),
 			comm: int32(comm), size: uint32(len(data)), hashes: hashes}
 		h.encode(buf)
 		copy(buf[headerSize:], data)
-		if err := p.sendQP[dst].Send(buf, 0, 0); err != nil {
+		err := p.sendQP[dst].Send(buf, 0, 0)
+		*bp = buf[:0]
+		p.w.stagebufs.Put(bp)
+		if err != nil {
 			return nil, err
 		}
 		// Eager sends complete locally once the payload is on the wire.
@@ -146,10 +157,12 @@ func (p *Proc) isend(dst, tag int, comm match.CommID, data []byte) (*Request, er
 	return req, nil
 }
 
-// irecv posts a receive to the engine.
+// irecv posts a receive to the engine. The Recv record comes from the
+// world's pool; whichever path delivers the match recycles it.
 func (p *Proc) irecv(src, tag int, comm match.CommID, buf []byte) (*Request, error) {
 	req := newRequest()
-	r := &match.Recv{
+	r := p.w.recvs.Get().(*match.Recv)
+	*r = match.Recv{
 		Source: match.Rank(src),
 		Tag:    match.Tag(tag),
 		Comm:   comm,

@@ -10,6 +10,10 @@ import (
 	"repro/internal/rdma"
 )
 
+// cqDrainBatch is how many completions the host-side progress loops drain
+// from the receive CQ per lock acquisition.
+const cqDrainBatch = 64
+
 // engine is a receiver-side matching engine: it owns the arrival path and
 // accepts receive postings from the application.
 type engine interface {
@@ -43,39 +47,48 @@ func (e *hostEngine) start() error {
 }
 
 // run is the host progress loop: it drains the receive CQ sequentially —
-// the serialization offloading removes.
+// the serialization offloading removes. Completions are taken in batches
+// (one CQ lock acquisition per batch) and envelopes come from the world's
+// pool, so the steady-state loop allocates nothing.
 func (e *hostEngine) run() {
 	defer e.wg.Done()
-	for k := uint64(0); ; k++ {
-		c, ok := e.p.recvCQ.WaitIndex(k)
+	batch := make([]rdma.Completion, cqDrainBatch)
+	for cursor := uint64(0); ; {
+		n, ok := e.p.recvCQ.WaitBatch(cursor, batch)
 		if !ok {
 			return
 		}
-		h, err := decodeHeader(c.Data)
-		if err != nil {
+		for i := 0; i < n; i++ {
+			c := batch[i]
+			h, err := decodeHeader(c.Data)
+			if err != nil {
+				e.p.repost(c.Data)
+				continue
+			}
+			if h.kind == kindAck {
+				e.p.handleAck(h)
+				e.p.repost(c.Data)
+				continue
+			}
+			env := fillEnvelope(e.p.w.envPool.Get(), h, payloadOf(h, c.Data))
+			e.mu.Lock()
+			r, matched := e.lm.Arrive(env)
+			if !matched {
+				// Stabilize before releasing the lock: a concurrent post
+				// could otherwise take the envelope while it still aliases
+				// the bounce buffer.
+				e.p.stabilizeUnexpected(env)
+			}
+			e.mu.Unlock()
+			if matched {
+				e.p.deliverMatch(r, env)
+				e.p.w.envPool.Put(env)
+				e.p.recycleRecv(r)
+			}
 			e.p.repost(c.Data)
-			continue
 		}
-		if h.kind == kindAck {
-			e.p.handleAck(h)
-			e.p.repost(c.Data)
-			continue
-		}
-		env := envelopeFromHeader(h, payloadOf(h, c.Data))
-		e.mu.Lock()
-		r, matched := e.lm.Arrive(env)
-		if !matched {
-			// Stabilize before releasing the lock: a concurrent post could
-			// otherwise take the envelope while it still aliases the bounce
-			// buffer.
-			stabilizeUnexpected(env)
-		}
-		e.mu.Unlock()
-		if matched {
-			e.p.deliverMatch(r, env)
-		}
-		e.p.repost(c.Data)
-		e.p.recvCQ.Trim(k) // keep the window bounded
+		cursor += uint64(n)
+		e.p.recvCQ.Trim(cursor) // keep the window bounded
 	}
 }
 
@@ -85,6 +98,8 @@ func (e *hostEngine) post(r *match.Recv) error {
 	e.mu.Unlock()
 	if ok {
 		e.p.deliverMatch(r, env)
+		e.p.recycleUnexpected(env)
+		e.p.recycleRecv(r)
 	}
 	return nil
 }
@@ -156,6 +171,7 @@ func newOffloadEngine(p *Proc) (*offloadEngine, error) {
 		e.matcher.SetCommHints(comm, info.Hints)
 	}
 	e.pipe = dpa.NewPipeline(acc, matcher, p.recvCQ)
+	e.pipe.Envelopes = &p.w.envPool // share one pool across pipeline and posts
 	e.pipe.Decode = e.decode
 	e.pipe.Handle = e.handle
 	e.pipe.Classify = e.classify
@@ -190,26 +206,30 @@ func (e *offloadEngine) start() error {
 	return nil
 }
 
-// decode runs on a DPA thread: parse the header and build the envelope.
-// The eager payload still aliases the bounce buffer here; handle() decides
-// whether it must be stabilized.
-func (e *offloadEngine) decode(c rdma.Completion) *match.Envelope {
+// decode runs on a DPA thread: parse the header and fill the pooled
+// envelope. The eager payload still aliases the bounce buffer here;
+// handle() decides whether it must be stabilized.
+func (e *offloadEngine) decode(c rdma.Completion, env *match.Envelope) *match.Envelope {
 	h, err := decodeHeader(c.Data)
 	if err != nil {
 		// Malformed traffic cannot occur from our own wire layer; match it
 		// to nothing by using an impossible communicator.
-		return &match.Envelope{Comm: -1}
+		env.Comm = -1
+		return env
 	}
-	return envelopeFromHeader(h, payloadOf(h, c.Data))
+	return fillEnvelope(env, h, payloadOf(h, c.Data))
 }
 
 // handle runs on a DPA thread after the optimistic match: protocol handling
-// per §IV-B, then bounce-buffer recycling.
+// per §IV-B, then bounce-buffer recycling. Matched envelopes are recycled
+// by the pipeline; unexpected ones live in the matcher's store until post()
+// delivers and recycles them.
 func (e *offloadEngine) handle(tid int, res core.Result, c rdma.Completion) {
 	if res.Unexpected {
-		stabilizeUnexpected(res.Env)
+		e.p.stabilizeUnexpected(res.Env)
 	} else {
 		e.p.deliverMatch(res.Recv, res.Env)
+		e.p.recycleRecv(res.Recv)
 	}
 	e.p.repost(c.Data)
 }
@@ -228,15 +248,17 @@ func (e *offloadEngine) control(c rdma.Completion) {
 		return
 	}
 	// Software-matched communicator: traditional list matching on the host.
-	env := envelopeFromHeader(h, payloadOf(h, c.Data))
+	env := fillEnvelope(e.p.w.envPool.Get(), h, payloadOf(h, c.Data))
 	e.fbMu.Lock()
 	r, matched := e.fallback.Arrive(env)
 	if !matched {
-		stabilizeUnexpected(env)
+		e.p.stabilizeUnexpected(env)
 	}
 	e.fbMu.Unlock()
 	if matched {
 		e.p.deliverMatch(r, env)
+		e.p.w.envPool.Put(env)
+		e.p.recycleRecv(r)
 	}
 	e.p.repost(c.Data)
 }
@@ -248,6 +270,8 @@ func (e *offloadEngine) post(r *match.Recv) error {
 		e.fbMu.Unlock()
 		if ok {
 			e.p.deliverMatch(r, env)
+			e.p.recycleUnexpected(env)
+			e.p.recycleRecv(r)
 		}
 		return nil
 	}
@@ -257,6 +281,8 @@ func (e *offloadEngine) post(r *match.Recv) error {
 	}
 	if ok {
 		e.p.deliverMatch(r, env)
+		e.p.recycleUnexpected(env)
+		e.p.recycleRecv(r)
 	}
 	return nil
 }
@@ -290,33 +316,39 @@ func (e *rawEngine) start() error {
 
 func (e *rawEngine) run() {
 	defer e.wg.Done()
-	for k := uint64(0); ; k++ {
-		c, ok := e.p.recvCQ.WaitIndex(k)
+	batch := make([]rdma.Completion, cqDrainBatch)
+	for cursor := uint64(0); ; {
+		n, ok := e.p.recvCQ.WaitBatch(cursor, batch)
 		if !ok {
 			return
 		}
-		h, err := decodeHeader(c.Data)
-		if err != nil {
+		for i := 0; i < n; i++ {
+			c := batch[i]
+			h, err := decodeHeader(c.Data)
+			if err != nil {
+				e.p.repost(c.Data)
+				continue
+			}
+			if h.kind == kindAck {
+				e.p.handleAck(h)
+				e.p.repost(c.Data)
+				continue
+			}
+			// Raw mode has no unexpected store: block until a receive is posted.
+			var r *match.Recv
+			select {
+			case r = <-e.posts:
+			case <-e.done:
+				return
+			}
+			req := r.User.(*Request)
+			nc := copy(r.Buffer, payloadOf(h, c.Data))
+			req.complete(Status{Source: int(h.src), Tag: int(h.tag), Count: nc}, nil)
+			e.p.recycleRecv(r)
 			e.p.repost(c.Data)
-			continue
 		}
-		if h.kind == kindAck {
-			e.p.handleAck(h)
-			e.p.repost(c.Data)
-			continue
-		}
-		// Raw mode has no unexpected store: block until a receive is posted.
-		var r *match.Recv
-		select {
-		case r = <-e.posts:
-		case <-e.done:
-			return
-		}
-		req := r.User.(*Request)
-		n := copy(r.Buffer, payloadOf(h, c.Data))
-		req.complete(Status{Source: int(h.src), Tag: int(h.tag), Count: n}, nil)
-		e.p.repost(c.Data)
-		e.p.recvCQ.Trim(k)
+		cursor += uint64(n)
+		e.p.recvCQ.Trim(cursor)
 	}
 }
 

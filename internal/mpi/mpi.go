@@ -121,6 +121,19 @@ type World struct {
 	fabric *rdma.Fabric
 	procs  []*Proc
 
+	// envPool recycles matching envelopes across all ranks' arrival paths;
+	// payloads recycles the stabilization buffers of unexpected eager
+	// messages (sized to the eager limit). Together they make the
+	// steady-state arrival path allocation-free.
+	envPool  match.EnvelopePool
+	payloads sync.Pool
+	// recvs recycles the match.Recv records irecv hands to the engines;
+	// stagebufs recycles the sender-side wire staging buffers of eager
+	// sends (QP.Send copies synchronously, so a staging buffer is free for
+	// reuse the moment Send returns).
+	recvs     sync.Pool
+	stagebufs sync.Pool
+
 	closeOnce sync.Once
 }
 
@@ -131,6 +144,15 @@ func NewWorld(n int, opts Options) (*World, error) {
 	}
 	opts.fill()
 	w := &World{opts: opts, fabric: rdma.NewFabric()}
+	w.payloads.New = func() any {
+		b := make([]byte, 0, w.opts.EagerLimit)
+		return &b
+	}
+	w.recvs.New = func() any { return new(match.Recv) }
+	w.stagebufs.New = func() any {
+		b := make([]byte, 0, headerSize+w.opts.EagerLimit)
+		return &b
+	}
 	w.fabric.SetCost(opts.Cost)
 
 	for rank := 0; rank < n; rank++ {
@@ -316,11 +338,40 @@ func (p *Proc) deliverMatch(r *match.Recv, env *match.Envelope) {
 // stabilizeUnexpected copies an eager payload out of the bounce buffer so
 // the buffer can be reposted while the message waits in the unexpected
 // store (§IV-C: "the message is stored for later match into an unexpected
-// message buffer").
-func stabilizeUnexpected(env *match.Envelope) {
-	if env.Data != nil {
-		env.Data = append([]byte(nil), env.Data...)
+// message buffer"). The copy lands in a pooled buffer sized to the eager
+// limit; recycleUnexpected returns it once the message is delivered.
+func (p *Proc) stabilizeUnexpected(env *match.Envelope) {
+	if env.Data == nil {
+		return
 	}
+	bp := p.w.payloads.Get().(*[]byte)
+	buf := *bp
+	if cap(buf) < len(env.Data) {
+		buf = make([]byte, 0, len(env.Data))
+	}
+	buf = buf[:len(env.Data)]
+	copy(buf, env.Data)
+	env.Data = buf
+}
+
+// recycleUnexpected returns a delivered unexpected envelope — and its
+// stabilized payload buffer — to the world's pools. Only envelopes handed
+// back by an engine's unexpected store may be recycled here: their Data is
+// pool-owned, never a bounce-buffer alias.
+func (p *Proc) recycleUnexpected(env *match.Envelope) {
+	if env.Data != nil {
+		buf := env.Data[:0]
+		p.w.payloads.Put(&buf)
+	}
+	p.w.envPool.Put(env)
+}
+
+// recycleRecv returns a matched receive record to the world's pool. Only
+// call it after deliverMatch: a consumed receive is never referenced by the
+// matcher again, so the record can back a future irecv.
+func (p *Proc) recycleRecv(r *match.Recv) {
+	*r = match.Recv{}
+	p.w.recvs.Put(r)
 }
 
 // sendAck notifies a sender that its rendezvous data has been read.

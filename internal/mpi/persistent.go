@@ -100,7 +100,7 @@ func Waitany(reqs ...*Request) (int, Status, error) {
 		}
 		cases = append(cases, reflect.SelectCase{
 			Dir:  reflect.SelectRecv,
-			Chan: reflect.ValueOf(r.done),
+			Chan: reflect.ValueOf(r.doneChan()),
 		})
 		idx = append(idx, i)
 	}

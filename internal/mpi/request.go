@@ -1,6 +1,9 @@
 package mpi
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Status describes a completed point-to-point operation, mirroring
 // MPI_Status: the matched source rank, tag, and received byte count.
@@ -12,40 +15,76 @@ type Status struct {
 
 // Request is a non-blocking operation handle, as returned by Isend and
 // Irecv. Wait blocks until completion.
+//
+// The completion channel is created lazily, only when a waiter arrives
+// before the operation finishes: eager sends and already-matched receives
+// complete before the caller can block, so the common hot path pays one
+// small allocation per request and no channel.
 type Request struct {
-	done   chan struct{}
-	once   sync.Once
+	mu     sync.Mutex
+	done   chan struct{} // created by the first early waiter
+	state  atomic.Uint32 // 0 = pending, 1 = complete
 	status Status
 	err    error
 }
 
 func newRequest() *Request {
-	return &Request{done: make(chan struct{})}
+	return new(Request)
 }
 
-// complete finishes the request exactly once.
+// complete finishes the request exactly once; later calls are no-ops.
 func (r *Request) complete(st Status, err error) {
-	r.once.Do(func() {
+	r.mu.Lock()
+	if r.state.Load() == 0 {
 		r.status = st
 		r.err = err
-		close(r.done)
-	})
+		r.state.Store(1)
+		if r.done != nil {
+			close(r.done)
+		}
+	}
+	r.mu.Unlock()
 }
 
 // Wait blocks until the operation completes and returns its status.
 func (r *Request) Wait() (Status, error) {
-	<-r.done
+	if r.state.Load() == 1 {
+		return r.status, r.err
+	}
+	r.mu.Lock()
+	if r.state.Load() == 1 {
+		r.mu.Unlock()
+		return r.status, r.err
+	}
+	if r.done == nil {
+		r.done = make(chan struct{})
+	}
+	ch := r.done
+	r.mu.Unlock()
+	<-ch
 	return r.status, r.err
+}
+
+// doneChan materializes the completion channel for select-based waiters
+// (Waitany). It is closed if the request already completed.
+func (r *Request) doneChan() <-chan struct{} {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.done == nil {
+		r.done = make(chan struct{})
+		if r.state.Load() == 1 {
+			close(r.done)
+		}
+	}
+	return r.done
 }
 
 // Test reports whether the operation has completed, without blocking.
 func (r *Request) Test() (Status, bool, error) {
-	select {
-	case <-r.done:
+	if r.state.Load() == 1 {
 		return r.status, true, r.err
-	default:
-		return Status{}, false, nil
 	}
+	return Status{}, false, nil
 }
 
 // Waitall waits on all requests and returns the first error encountered.

@@ -81,18 +81,19 @@ func payloadOf(h header, wire []byte) []byte {
 	return wire[headerSize : headerSize+int(h.size)]
 }
 
-// envelopeFromHeader builds the matching envelope for a decoded message.
-// For eager messages, data must be the payload (which may alias a bounce
-// buffer — the unexpected path is responsible for stabilizing it). For RTS
-// messages the envelope carries the sender's memory key instead.
-func envelopeFromHeader(h header, data []byte) *match.Envelope {
-	env := &match.Envelope{
-		Source: match.Rank(h.src),
-		Tag:    match.Tag(h.tag),
-		Comm:   match.CommID(h.comm),
-		Size:   int(h.size),
-		Inline: &match.InlineHashes{SrcTag: h.hashes.SrcTag, Tag: h.hashes.Tag, Src: h.hashes.Src},
-	}
+// fillEnvelope populates env — typically drawn from an EnvelopePool — with
+// the matching envelope of a decoded message, reusing env's InlineHashes
+// backing so the hot path allocates nothing. For eager messages, data must
+// be the payload (which may alias a bounce buffer — the unexpected path is
+// responsible for stabilizing it). For RTS messages the envelope carries
+// the sender's memory key instead.
+func fillEnvelope(env *match.Envelope, h header, data []byte) *match.Envelope {
+	env.Reset()
+	env.Source = match.Rank(h.src)
+	env.Tag = match.Tag(h.tag)
+	env.Comm = match.CommID(h.comm)
+	env.Size = int(h.size)
+	env.SetInline(h.hashes)
 	switch h.kind {
 	case kindEager:
 		env.Data = data

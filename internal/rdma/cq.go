@@ -1,6 +1,9 @@
 package rdma
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Completion is one completion-queue entry.
 type Completion struct {
@@ -15,6 +18,10 @@ type Completion struct {
 // window of entries indexed by absolute completion number, which lets the
 // DPA's threads poll in the strided pattern of §IV-A: thread i waits for
 // completion i, then i+N, and so on.
+//
+// Consumers that drain windows of entries should prefer WaitBatch /
+// PollBatch, which move a whole batch under a single lock acquisition; the
+// per-entry WaitIndex / Poll calls remain for strided pollers and tests.
 type CQ struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -22,6 +29,11 @@ type CQ struct {
 	base    uint64 // absolute index of entries[0]
 	next    uint64 // absolute index of the next completion to be pushed
 	closed  bool
+
+	// ready mirrors next outside the lock so pollers can check for new
+	// completions — the common empty/ready test — without contending with
+	// producers.
+	ready atomic.Uint64
 }
 
 // NewCQ returns an empty completion queue.
@@ -37,6 +49,7 @@ func (q *CQ) Push(c Completion) {
 	q.mu.Lock()
 	q.entries = append(q.entries, c)
 	q.next++
+	q.ready.Store(q.next)
 	q.mu.Unlock()
 	q.cond.Broadcast()
 }
@@ -69,6 +82,9 @@ func (q *CQ) WaitIndex(k uint64) (Completion, bool) {
 
 // Poll returns the completion with absolute index k without blocking.
 func (q *CQ) Poll(k uint64) (Completion, bool) {
+	if q.ready.Load() <= k {
+		return Completion{}, false // nothing at k yet: lock-free fast path
+	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.next <= k || k < q.base {
@@ -76,6 +92,47 @@ func (q *CQ) Poll(k uint64) (Completion, bool) {
 	}
 	return q.entries[k-q.base], true
 }
+
+// PollBatch copies into dst all ready completions starting at absolute
+// index from, up to len(dst), under a single lock acquisition, and returns
+// the number copied. It returns 0 when nothing at or beyond from is ready
+// or when from was already trimmed. The empty case is detected lock-free.
+func (q *CQ) PollBatch(from uint64, dst []Completion) int {
+	if q.ready.Load() <= from || len(dst) == 0 {
+		return 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.next <= from || from < q.base {
+		return 0
+	}
+	return copy(dst, q.entries[from-q.base:])
+}
+
+// WaitBatch blocks until at least one completion at absolute index from or
+// beyond exists, then drains as many consecutive completions as are ready
+// (up to len(dst)) under the same lock acquisition. It reports ok=false
+// when the queue was closed before entry from was produced, or when from
+// was already trimmed.
+func (q *CQ) WaitBatch(from uint64, dst []Completion) (int, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.next <= from {
+		if q.closed {
+			return 0, false
+		}
+		q.cond.Wait()
+	}
+	if from < q.base {
+		return 0, false
+	}
+	return copy(dst, q.entries[from-q.base:]), true
+}
+
+// Ready returns the absolute index of the next completion to be produced,
+// without taking the queue lock. Ready() > k means entry k can be polled
+// (unless trimmed); Ready() <= k means it does not exist yet.
+func (q *CQ) Ready() uint64 { return q.ready.Load() }
 
 // Next returns the absolute index of the next completion to be produced —
 // i.e. the number of completions so far.
@@ -86,7 +143,9 @@ func (q *CQ) Next() uint64 {
 }
 
 // Trim discards entries below absolute index k, modelling ring reuse after
-// the consumer has advanced.
+// the consumer has advanced. Remaining entries are compacted to the front
+// of the backing array so a steady-state producer/consumer pair recycles
+// one allocation indefinitely.
 func (q *CQ) Trim(k uint64) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -96,7 +155,8 @@ func (q *CQ) Trim(k uint64) {
 	if k > q.next {
 		k = q.next
 	}
-	q.entries = q.entries[k-q.base:]
+	n := copy(q.entries, q.entries[k-q.base:])
+	q.entries = q.entries[:n]
 	q.base = k
 }
 

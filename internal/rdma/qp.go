@@ -93,7 +93,7 @@ func newQP(f *Fabric, cfg QPConfig) *QP {
 // the send CQ. Returns ErrClosed after Close.
 func (q *QP) Send(data []byte, imm uint32, wrID uint64) error {
 	charge(q.fabric.cost.SendWire + q.fabric.cost.data(len(data)))
-	msg := wireMsg{data: append([]byte(nil), data...), imm: imm}
+	msg := wireMsg{data: q.fabric.wireCopy(data), imm: imm}
 	select {
 	case q.peer.wire <- msg:
 	case <-q.peer.done:
@@ -125,6 +125,7 @@ func (q *QP) deliver() {
 			return
 		}
 		n := copy(wr.buf, msg.data)
+		q.fabric.wireRecycle(msg.data)
 		q.recvCQ.Push(Completion{
 			Op:    OpRecv,
 			WRID:  wr.wrID,

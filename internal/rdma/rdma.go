@@ -89,6 +89,29 @@ type Fabric struct {
 	mrs     map[uint64]*MemoryRegion
 	nextKey uint64
 	cost    Cost
+
+	// wirePool recycles the in-flight copies QP.Send stages: a wire buffer
+	// lives only from Send until the peer's delivery engine copies it into
+	// a posted receive buffer, so a small pool serves any traffic volume.
+	wirePool sync.Pool
+}
+
+// wireCopy stages data in a pooled buffer for in-flight transfer.
+func (f *Fabric) wireCopy(data []byte) []byte {
+	var buf []byte
+	if bp, ok := f.wirePool.Get().(*[]byte); ok && cap(*bp) >= len(data) {
+		buf = (*bp)[:len(data)]
+	} else {
+		buf = make([]byte, len(data))
+	}
+	copy(buf, data)
+	return buf
+}
+
+// wireRecycle returns a staged buffer once its contents have been consumed.
+func (f *Fabric) wireRecycle(buf []byte) {
+	b := buf[:0]
+	f.wirePool.Put(&b)
 }
 
 // NewFabric returns an empty fabric with free operations.

@@ -304,3 +304,118 @@ func TestOpTypeString(t *testing.T) {
 		}
 	}
 }
+
+func TestCQPollBatch(t *testing.T) {
+	q := NewCQ()
+	dst := make([]Completion, 4)
+	if n := q.PollBatch(0, dst); n != 0 {
+		t.Fatalf("empty queue returned %d", n)
+	}
+	for i := 0; i < 6; i++ {
+		q.Push(Completion{WRID: uint64(i)})
+	}
+	if q.Ready() != 6 {
+		t.Fatalf("Ready = %d, want 6", q.Ready())
+	}
+	// A full window, bounded by len(dst).
+	if n := q.PollBatch(0, dst); n != 4 {
+		t.Fatalf("PollBatch(0) = %d, want 4", n)
+	}
+	for i, c := range dst {
+		if c.WRID != uint64(i) {
+			t.Fatalf("dst[%d].WRID = %d", i, c.WRID)
+		}
+	}
+	// A partial window from an interior index.
+	if n := q.PollBatch(4, dst); n != 2 || dst[0].WRID != 4 || dst[1].WRID != 5 {
+		t.Fatalf("PollBatch(4) = %d (%v)", n, dst[:2])
+	}
+	// Beyond the produced range, and with an empty destination.
+	if n := q.PollBatch(6, dst); n != 0 {
+		t.Fatalf("PollBatch(6) = %d", n)
+	}
+	if n := q.PollBatch(0, nil); n != 0 {
+		t.Fatalf("PollBatch(nil dst) = %d", n)
+	}
+	// Trimmed indexes are gone.
+	q.Trim(3)
+	if n := q.PollBatch(0, dst); n != 0 {
+		t.Fatalf("PollBatch below base = %d", n)
+	}
+	if n := q.PollBatch(3, dst); n != 3 || dst[0].WRID != 3 {
+		t.Fatalf("PollBatch(3) after trim = %d (%v)", n, dst[:3])
+	}
+}
+
+func TestCQWaitBatch(t *testing.T) {
+	q := NewCQ()
+	got := make(chan []uint64, 1)
+	go func() {
+		dst := make([]Completion, 8)
+		n, ok := q.WaitBatch(0, dst)
+		if !ok {
+			got <- nil
+			return
+		}
+		ids := make([]uint64, n)
+		for i := range ids {
+			ids[i] = dst[i].WRID
+		}
+		got <- ids
+	}()
+	time.Sleep(10 * time.Millisecond) // let the waiter block
+	q.Push(Completion{WRID: 7})
+	ids := <-got
+	if len(ids) < 1 || ids[0] != 7 {
+		t.Fatalf("WaitBatch woke with %v", ids)
+	}
+
+	// Close unblocks a pending WaitBatch with ok=false…
+	fail := make(chan bool, 1)
+	go func() {
+		_, ok := q.WaitBatch(q.Next(), make([]Completion, 1))
+		fail <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.Close()
+	if ok := <-fail; ok {
+		t.Fatal("WaitBatch returned ok after Close with nothing pending")
+	}
+	// …but still drains entries that were produced before the close.
+	q2 := NewCQ()
+	q2.Push(Completion{WRID: 1})
+	q2.Push(Completion{WRID: 2})
+	q2.Close()
+	dst := make([]Completion, 4)
+	if n, ok := q2.WaitBatch(0, dst); !ok || n != 2 {
+		t.Fatalf("closed-but-nonempty WaitBatch = (%d,%v)", n, ok)
+	}
+}
+
+func TestCQTrimCompacts(t *testing.T) {
+	// Steady-state producer/consumer reuse: after a Trim the remaining
+	// entries sit at the front of the same backing array, so the window
+	// never grows beyond its high-water mark.
+	q := NewCQ()
+	dst := make([]Completion, 8)
+	var cursor uint64
+	for round := 0; round < 1000; round++ {
+		for i := 0; i < 8; i++ {
+			q.Push(Completion{WRID: cursor + uint64(i)})
+		}
+		n := q.PollBatch(cursor, dst)
+		if n != 8 {
+			t.Fatalf("round %d: drained %d", round, n)
+		}
+		for i := 0; i < n; i++ {
+			if dst[i].WRID != cursor+uint64(i) {
+				t.Fatalf("round %d: dst[%d].WRID = %d", round, i, dst[i].WRID)
+			}
+		}
+		cursor += uint64(n)
+		q.Trim(cursor)
+	}
+	if q.Next() != cursor {
+		t.Fatalf("next = %d, want %d", q.Next(), cursor)
+	}
+}
