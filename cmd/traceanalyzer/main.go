@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -25,16 +27,46 @@ import (
 
 func main() {
 	var (
-		report  = flag.String("report", "depth", "report kind: callmix | depth | summary | tags")
-		binsArg = flag.String("bins", "1,32,128", "comma-separated bin counts")
-		dir     = flag.String("dir", "", "DUMPI trace directory (default: synthetic generators)")
-		app     = flag.String("app", "", "application name (required with -dir; filters otherwise)")
-		scale   = flag.Int("scale", 100, "synthetic generation scale percentage")
-		outdir  = flag.String("outdir", "", "also write per-run stats in the artifact layout (<outdir>/<app>/<bins>/stats.csv)")
-		matcher = flag.String("matcher", "optimistic", "matching strategy to emulate: optimistic | list | bin | rank | adaptive")
+		report     = flag.String("report", "depth", "report kind: callmix | depth | summary | tags")
+		binsArg    = flag.String("bins", "1,32,128", "comma-separated bin counts")
+		dir        = flag.String("dir", "", "DUMPI trace directory (default: synthetic generators)")
+		app        = flag.String("app", "", "application name (required with -dir; filters otherwise)")
+		scale      = flag.Int("scale", 100, "synthetic generation scale percentage")
+		outdir     = flag.String("outdir", "", "also write per-run stats in the artifact layout (<outdir>/<app>/<bins>/stats.csv)")
+		matcher    = flag.String("matcher", "optimistic", "matching strategy to emulate: optimistic | list | bin | rank | adaptive")
+		parallel   = flag.Int("parallel", 0, "replay worker pool width (0 = GOMAXPROCS)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	engine := analyzer.Engine(*matcher)
+	cfg := analyzer.Config{Engine: engine, Workers: *parallel}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "traceanalyzer: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // surface only live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "traceanalyzer: %v\n", err)
+			}
+		}()
+	}
 
 	bins, err := parseBins(*binsArg)
 	if err != nil {
@@ -50,7 +82,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		reps, err := analyzer.Sweep(tr, bins, analyzer.Config{Engine: engine})
+		reps, err := analyzer.Sweep(tr, bins, cfg)
 		if err != nil {
 			fatal(err)
 		}
@@ -75,7 +107,7 @@ func main() {
 		fmt.Print(analyzer.FormatTagUsage(reps))
 
 	case *report == "depth":
-		byApp, err := bench.RunFigure7Config(*scale, bins, analyzer.Config{Engine: engine})
+		byApp, err := bench.RunFigure7Config(*scale, bins, cfg)
 		if err != nil {
 			fatal(err)
 		}
@@ -96,7 +128,7 @@ func main() {
 		printReduction(red)
 
 	case *report == "summary":
-		byApp, err := bench.RunFigure7Config(*scale, bins, analyzer.Config{Engine: engine})
+		byApp, err := bench.RunFigure7Config(*scale, bins, cfg)
 		if err != nil {
 			fatal(err)
 		}

@@ -63,6 +63,10 @@ type Config struct {
 	// one pair keep their send order (per-QP FIFO, constraint C2). Set it
 	// negative to disable.
 	LatencySpread float64
+	// Workers bounds the replay worker pool (default GOMAXPROCS). Every
+	// width produces byte-identical reports; 1 still uses the sharded path
+	// on a single goroutine — AnalyzeSerial is the unsharded reference.
+	Workers int
 }
 
 func (c *Config) fill() {
@@ -159,8 +163,18 @@ type step struct {
 	comm int32
 }
 
-// Analyze replays t through per-rank optimistic matching structures.
+// Analyze replays t through per-rank matching structures, sharded by
+// destination rank over a bounded worker pool (see Schedule). The report
+// is byte-identical to AnalyzeSerial's.
 func Analyze(t *trace.Trace, cfg Config) (*Report, error) {
+	return BuildSchedule(t, cfg).Analyze(cfg)
+}
+
+// AnalyzeSerial is the unsharded reference implementation: one global
+// (time, seq)-sorted step list replayed on the calling goroutine. It
+// defines the semantics the sharded path must reproduce exactly and backs
+// the equivalence tests; production callers want Analyze.
+func AnalyzeSerial(t *trace.Trace, cfg Config) (*Report, error) {
 	cfg.fill()
 	if cfg.Bins < 1 {
 		return nil, fmt.Errorf("analyzer: Bins must be >= 1, got %d", cfg.Bins)
@@ -236,8 +250,9 @@ func Analyze(t *trace.Trace, cfg Config) (*Report, error) {
 			env := &match.Envelope{Source: match.Rank(s.peer), Tag: match.Tag(s.tag), Comm: match.CommID(s.comm)}
 			m.arrive(env)
 		case trace.OpProgress:
-			postedSum += float64(m.posted())
-			if d := m.posted(); d > rep.PostedMax {
+			d := m.posted()
+			postedSum += float64(d)
+			if d > rep.PostedMax {
 				rep.PostedMax = d
 			}
 			postedSamples++
@@ -250,7 +265,7 @@ func Analyze(t *trace.Trace, cfg Config) (*Report, error) {
 				rep.Series = append(rep.Series, DataPoint{
 					Time:       s.time,
 					Rank:       s.rank,
-					Posted:     m.posted(),
+					Posted:     d,
 					Unexpected: m.unexpectedNow(),
 					EmptyBins:  empty,
 					TotalBins:  total,
@@ -275,17 +290,10 @@ func Analyze(t *trace.Trace, cfg Config) (*Report, error) {
 	return rep, nil
 }
 
-// Sweep analyzes t at each bin count and returns reports in order.
+// Sweep analyzes t at each bin count and returns reports in order. The
+// replay schedule is built once and every (bin count × shard) replay fans
+// out over one shared worker pool; re-analyzing per bin count from scratch
+// re-derives and re-sorts the identical step list.
 func Sweep(t *trace.Trace, bins []int, cfg Config) ([]*Report, error) {
-	out := make([]*Report, 0, len(bins))
-	for _, b := range bins {
-		c := cfg
-		c.Bins = b
-		r, err := Analyze(t, c)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
-	}
-	return out, nil
+	return BuildSchedule(t, cfg).Sweep(bins, cfg)
 }

@@ -1,0 +1,257 @@
+package analyzer
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/match"
+	"repro/internal/trace"
+)
+
+// progressSample is one shard-local OpProgress observation. Samples are
+// kept raw (integers plus the step's time/seq identity) so the merge step
+// can fold them into the Report's floating-point aggregates in exactly the
+// global (time, seq) order the serial path uses — float addition is not
+// associative, and byte-identical reports require an identical reduction
+// order, not just an equivalent one.
+type progressSample struct {
+	time       float64
+	seq        int
+	rank       int32
+	posted     int
+	unexpected int
+	empty      int
+	total      int
+	occOK      bool
+}
+
+// shardResult is everything one rank's replay contributes to a Report.
+type shardResult struct {
+	tags          map[int32]struct{}
+	keys          map[[3]int32]struct{}
+	wildcardRecvs int
+	samples       []progressSample
+	depth         match.Stats
+	unexpected    uint64
+	err           error
+}
+
+// runShard replays one rank's step stream through a fresh engine instance.
+// It is the per-rank slice of the serial loop in AnalyzeSerial; the two
+// must stay in lockstep.
+func runShard(sh *shard, cfg Config) shardResult {
+	res := shardResult{
+		tags: make(map[int32]struct{}),
+		keys: make(map[[3]int32]struct{}),
+	}
+	m, err := newInstance(cfg)
+	if err != nil {
+		res.err = err
+		return res
+	}
+	for _, s := range sh.steps {
+		switch s.kind {
+		case trace.OpRecv:
+			r := &match.Recv{Source: match.Rank(s.peer), Tag: match.Tag(s.tag), Comm: match.CommID(s.comm)}
+			if r.Class() != match.ClassNone {
+				res.wildcardRecvs++
+			}
+			if s.tag != trace.AnyTag {
+				res.tags[s.tag] = struct{}{}
+			}
+			res.keys[[3]int32{s.peer, s.tag, s.comm}] = struct{}{}
+			if err := m.post(r); err != nil {
+				res.err = fmt.Errorf("analyzer: rank %d: %w (raise MaxReceives)", s.rank, err)
+				return res
+			}
+		case trace.OpSend:
+			env := &match.Envelope{Source: match.Rank(s.peer), Tag: match.Tag(s.tag), Comm: match.CommID(s.comm)}
+			m.arrive(env)
+		case trace.OpProgress:
+			empty, total, ok := m.occupancy()
+			res.samples = append(res.samples, progressSample{
+				time:       s.time,
+				seq:        s.seq,
+				rank:       s.rank,
+				posted:     m.posted(),
+				unexpected: m.unexpectedNow(),
+				empty:      empty,
+				total:      total,
+				occOK:      ok,
+			})
+		}
+	}
+	res.depth = m.depth()
+	res.unexpected = m.unexpectedTotal()
+	return res
+}
+
+// workerCount resolves the pool width: Config.Workers, defaulting to
+// GOMAXPROCS, clamped to the task count.
+func (c Config) workerCount(tasks int) int {
+	w := c.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > tasks {
+		w = tasks
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// runPool executes n tasks on a bounded worker pool.
+func runPool(n, workers int, task func(i int)) {
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			task(i)
+		}
+		return
+	}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				task(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+}
+
+// merge folds per-shard results into one Report. Progress samples from all
+// shards are re-ordered by (time, seq) — the global replay order — and the
+// floating-point aggregates (PostedAvg, EmptyBinPct) are accumulated in
+// that order, so the merged Report is byte-identical to AnalyzeSerial's.
+// Counter merges (depth stats, unexpected totals, tag/key unions) are
+// order-independent.
+func (sc *Schedule) merge(results []shardResult, cfg Config) (*Report, error) {
+	for i := range results {
+		if results[i].err != nil {
+			return nil, results[i].err
+		}
+	}
+
+	rep := &Report{App: sc.app, Procs: sc.procs, Bins: cfg.Bins, Mix: sc.mix}
+
+	tags := make(map[int32]struct{})
+	keys := make(map[[3]int32]struct{})
+	nSamples := 0
+	for i := range results {
+		r := &results[i]
+		rep.WildcardRecvs += r.wildcardRecvs
+		rep.Depth = rep.Depth.Add(r.depth)
+		rep.Unexpected += r.unexpected
+		for t := range r.tags {
+			tags[t] = struct{}{}
+		}
+		for k := range r.keys {
+			keys[k] = struct{}{}
+		}
+		nSamples += len(r.samples)
+	}
+	rep.Matched = rep.Depth.Matched
+	rep.TagsUsed = len(tags)
+	rep.UniqueKeys = len(keys)
+
+	samples := make([]progressSample, 0, nSamples)
+	for i := range results {
+		samples = append(samples, results[i].samples...)
+	}
+	sort.Slice(samples, func(i, j int) bool {
+		if samples[i].time != samples[j].time {
+			return samples[i].time < samples[j].time
+		}
+		return samples[i].seq < samples[j].seq
+	})
+
+	var postedSamples, emptySamples int
+	var postedSum, emptySum float64
+	for _, s := range samples {
+		postedSum += float64(s.posted)
+		if s.posted > rep.PostedMax {
+			rep.PostedMax = s.posted
+		}
+		postedSamples++
+		if s.occOK && s.total > 0 {
+			emptySum += 100 * float64(s.empty) / float64(s.total)
+			emptySamples++
+		}
+		if cfg.RecordSeries {
+			rep.Series = append(rep.Series, DataPoint{
+				Time:       s.time,
+				Rank:       s.rank,
+				Posted:     s.posted,
+				Unexpected: s.unexpected,
+				EmptyBins:  s.empty,
+				TotalBins:  s.total,
+			})
+		}
+	}
+	if postedSamples > 0 {
+		rep.PostedAvg = postedSum / float64(postedSamples)
+	}
+	if emptySamples > 0 {
+		rep.EmptyBinPct = emptySum / float64(emptySamples)
+	}
+	return rep, nil
+}
+
+// Analyze replays the schedule at one configuration, running shards on a
+// bounded worker pool (Config.Workers wide, default GOMAXPROCS).
+func (sc *Schedule) Analyze(cfg Config) (*Report, error) {
+	cfg.fill()
+	if cfg.Bins < 1 {
+		return nil, fmt.Errorf("analyzer: Bins must be >= 1, got %d", cfg.Bins)
+	}
+	results := make([]shardResult, len(sc.shards))
+	runPool(len(sc.shards), cfg.workerCount(len(sc.shards)), func(i int) {
+		results[i] = runShard(&sc.shards[i], cfg)
+	})
+	return sc.merge(results, cfg)
+}
+
+// Sweep replays the schedule once per bin count, fanning every
+// (bin count × shard) replay out over one shared worker pool. The step
+// streams are built and sorted exactly once for the whole sweep.
+func (sc *Schedule) Sweep(bins []int, cfg Config) ([]*Report, error) {
+	cfg.fill()
+	for _, b := range bins {
+		if b < 1 {
+			return nil, fmt.Errorf("analyzer: Bins must be >= 1, got %d", b)
+		}
+	}
+	nb, ns := len(bins), len(sc.shards)
+	results := make([][]shardResult, nb)
+	for bi := range results {
+		results[bi] = make([]shardResult, ns)
+	}
+	runPool(nb*ns, cfg.workerCount(nb*ns), func(i int) {
+		bi, si := i/max(ns, 1), i%max(ns, 1)
+		c := cfg
+		c.Bins = bins[bi]
+		results[bi][si] = runShard(&sc.shards[si], c)
+	})
+	out := make([]*Report, 0, nb)
+	for bi := range results {
+		c := cfg
+		c.Bins = bins[bi]
+		rep, err := sc.merge(results[bi], c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}

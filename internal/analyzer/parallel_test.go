@@ -1,0 +1,167 @@
+package analyzer
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/tracegen"
+)
+
+// mustEqualReports fails unless the two reports are deeply (and for floats
+// exactly) equal — the sharded path promises byte-identical output, not
+// just statistically equivalent output.
+func mustEqualReports(t *testing.T, label string, serial, parallel *Report) {
+	t.Helper()
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("%s: parallel report diverges from serial\nserial:   %+v\nparallel: %+v", label, serial, parallel)
+	}
+}
+
+func TestParallelEquivalenceOnGenerators(t *testing.T) {
+	engines := []Engine{EngineOptimistic, EngineList, EngineBin, EngineRank, EngineAdaptive}
+	for _, name := range []string{"AMG", "BoxLib CNS", "CrystalRouter", "PARTISN"} {
+		app, ok := tracegen.ByName(name)
+		if !ok {
+			t.Fatalf("app %s missing", name)
+		}
+		tr := app.Generate(tracegen.Config{Scale: 10})
+		for _, eng := range engines {
+			cfg := Config{Engine: eng, Bins: 16, RecordSeries: true}
+			serial, err := AnalyzeSerial(tr, cfg)
+			if err != nil {
+				t.Fatalf("%s/%s serial: %v", name, eng, err)
+			}
+			for _, workers := range []int{1, 3, 16} {
+				c := cfg
+				c.Workers = workers
+				par, err := Analyze(tr, c)
+				if err != nil {
+					t.Fatalf("%s/%s workers=%d: %v", name, eng, workers, err)
+				}
+				mustEqualReports(t, name+"/"+string(eng), serial, par)
+			}
+		}
+	}
+}
+
+func TestParallelEquivalenceEdgeCases(t *testing.T) {
+	// Wildcards, unexpected arrivals, sends to a rank outside the trace,
+	// and same-walltime ties that only seq can break.
+	tr := &trace.Trace{App: "edges", Ranks: []trace.RankTrace{
+		{Rank: 0, Events: []trace.Event{
+			{Kind: trace.OpSend, Name: "MPI_Isend", Peer: 1, Tag: 5, Walltime: 0.1},  // unexpected at 1
+			{Kind: trace.OpSend, Name: "MPI_Isend", Peer: 99, Tag: 9, Walltime: 0.2}, // rank not traced
+			{Kind: trace.OpSend, Name: "MPI_Isend", Peer: 1, Tag: 6, Walltime: 0.6},
+			{Kind: trace.OpProgress, Name: "MPI_Wait", Walltime: 0.9},
+		}},
+		{Rank: 1, Events: []trace.Event{
+			{Kind: trace.OpRecv, Name: "MPI_Irecv", Peer: 0, Tag: 5, Walltime: 0.5},
+			{Kind: trace.OpRecv, Name: "MPI_Irecv", Peer: trace.AnySource, Tag: trace.AnyTag, Walltime: 0.5},
+			{Kind: trace.OpProgress, Name: "MPI_Waitall", Walltime: 0.9},
+		}},
+	}}
+	cfg := Config{Bins: 8, RecordSeries: true, Workers: 4}
+	serial, err := AnalyzeSerial(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Analyze(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEqualReports(t, "edges", serial, par)
+	if par.Unexpected != 1 || par.WildcardRecvs != 1 {
+		t.Fatalf("edge semantics: %+v", par)
+	}
+}
+
+func TestSweepEquivalence(t *testing.T) {
+	app, _ := tracegen.ByName("BoxLib CNS")
+	tr := app.Generate(tracegen.Config{Scale: 10})
+	bins := []int{1, 4, 32, 128}
+	cfg := Config{RecordSeries: true, Workers: 8}
+
+	reps, err := Sweep(tr, bins, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != len(bins) {
+		t.Fatalf("got %d reports for %d bins", len(reps), len(bins))
+	}
+	for i, b := range bins {
+		c := cfg
+		c.Bins = b
+		serial, err := AnalyzeSerial(tr, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustEqualReports(t, app.Name, serial, reps[i])
+	}
+}
+
+func TestScheduleReuse(t *testing.T) {
+	app, _ := tracegen.ByName("AMG")
+	tr := app.Generate(tracegen.Config{Scale: 10})
+	cfg := Config{RecordSeries: true}
+	sched := BuildSchedule(tr, cfg)
+	if sched.NumShards() != tr.NumRanks() {
+		t.Fatalf("shards = %d, ranks = %d", sched.NumShards(), tr.NumRanks())
+	}
+	if sched.NumSteps() == 0 {
+		t.Fatal("empty schedule for a p2p app")
+	}
+	// One schedule replayed at two bin counts must equal fresh analyses.
+	for _, b := range []int{1, 32} {
+		c := cfg
+		c.Bins = b
+		fromSched, err := sched.Analyze(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := AnalyzeSerial(tr, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustEqualReports(t, "reuse", fresh, fromSched)
+	}
+}
+
+func TestParallelValidationAndErrors(t *testing.T) {
+	tr := twoRankTrace([]int32{1})
+	if _, err := Analyze(tr, Config{Bins: 0}); err == nil {
+		t.Fatal("zero bins accepted")
+	}
+	if _, err := Sweep(tr, []int{4, 0}, Config{}); err == nil {
+		t.Fatal("zero bins accepted in sweep")
+	}
+	big := make([]int32, 64)
+	for i := range big {
+		big[i] = int32(i)
+	}
+	over := twoRankTrace(big)
+	_, err := Analyze(over, Config{Bins: 4, MaxReceives: 8, Workers: 4})
+	if err == nil {
+		t.Fatal("table overflow not reported by parallel path")
+	}
+	if !strings.Contains(err.Error(), "rank 1") {
+		t.Fatalf("overflow error lost its rank: %v", err)
+	}
+	if _, err := Sweep(over, []int{4, 8}, Config{MaxReceives: 8, Workers: 4}); err == nil {
+		t.Fatal("table overflow not reported by sweep")
+	}
+}
+
+func TestParallelEmptyTrace(t *testing.T) {
+	tr := &trace.Trace{App: "empty"}
+	rep, err := Analyze(tr, Config{Bins: 4, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := AnalyzeSerial(tr, Config{Bins: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEqualReports(t, "empty", serial, rep)
+}
