@@ -12,6 +12,7 @@ import (
 	"runtime/pprof"
 
 	"repro/internal/bench"
+	"repro/internal/rdma"
 )
 
 func main() {
@@ -21,10 +22,17 @@ func main() {
 		payload    = flag.Int("payload", 8, "eager payload bytes")
 		threads    = flag.Int("threads", 32, "DPA threads (paper: 32)")
 		modeled    = flag.Bool("modeled", false, "report cost-model rates (core-count independent) instead of wall clock")
+		faults     = flag.String("faults", "", "deterministic fault plan, e.g. seed=1,drop=0.05,dup=0.02,delay=0.01,rnr=0.01")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	plan, err := rdma.ParseFaultPlan(*faults)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "msgrate: %v\n", err)
+		os.Exit(1)
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -69,14 +77,19 @@ func main() {
 		return
 	}
 
-	fmt.Printf("Figure 8 — message rate: k=%d, reps=%d, payload=%dB, %d DPA threads\n\n",
+	fmt.Printf("Figure 8 — message rate: k=%d, reps=%d, payload=%dB, %d DPA threads\n",
 		*k, *reps, *payload, *threads)
+	if plan.Active() {
+		fmt.Printf("fault plan: %s\n", *faults)
+	}
+	fmt.Println()
 
 	for _, cfg := range bench.Figure8Scenarios() {
 		cfg.K = *k
 		cfg.Reps = *reps
 		cfg.PayloadBytes = *payload
 		cfg.Threads = *threads
+		cfg.Faults = plan
 		res, err := bench.RunMsgRate(cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "msgrate: %s: %v\n", cfg.Label, err)
@@ -86,6 +99,12 @@ func main() {
 		if st := res.MatchStats; st.Messages > 0 {
 			fmt.Printf("%-22s %12s blocks=%d optimistic=%d conflicts=%d fast=%d slow=%d unexpected=%d\n",
 				"", "", st.Blocks, st.Optimistic, st.Conflicts, st.FastPath, st.SlowPath, st.Unexpected)
+		}
+		if plan.Active() {
+			fmt.Printf("%-22s %12s faults: %v\n", "", "", res.Faults)
+			fmt.Printf("%-22s %12s repair: retransmits=%d dups-dropped=%d out-of-order=%d sacks=%d rnr-retries=%d\n",
+				"", "", res.Reliability.Retransmits, res.Reliability.DupDropped,
+				res.Reliability.OutOfOrder, res.Reliability.Sacks, res.Reliability.SendRNR)
 		}
 	}
 }

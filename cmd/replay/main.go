@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"repro/internal/mpi"
+	"repro/internal/rdma"
 	"repro/internal/replay"
 	"repro/internal/trace"
 	"repro/internal/tracegen"
@@ -26,8 +27,14 @@ func main() {
 		dir     = flag.String("dir", "", "DUMPI trace directory (default: synthetic generator)")
 		engine  = flag.String("engine", "offload", "matching engine: offload | host | raw")
 		scale   = flag.Int("scale", 25, "synthetic generation scale percentage")
+		faults  = flag.String("faults", "", "deterministic fault plan, e.g. seed=1,drop=0.05,dup=0.02")
 	)
 	flag.Parse()
+
+	plan, err := rdma.ParseFaultPlan(*faults)
+	if err != nil {
+		fatal(err)
+	}
 
 	var kinds = map[string]mpi.EngineKind{
 		"offload": mpi.EngineOffload,
@@ -56,7 +63,9 @@ func main() {
 
 	fmt.Printf("replaying %s (%d ranks, %d events) on the %v engine...\n",
 		tr.App, tr.NumRanks(), tr.NumEvents(), kind)
-	res, err := replay.Run(tr, replay.Config{Engine: kind})
+	cfg := replay.Config{Engine: kind}
+	cfg.Options.Faults = plan
+	res, err := replay.Run(tr, cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -65,6 +74,12 @@ func main() {
 		m := res.Matcher
 		fmt.Printf("offloaded matching: %d msgs in %d blocks; %d optimistic, %d conflicts (%d fast, %d slow), %d unexpected\n",
 			m.Messages, m.Blocks, m.Optimistic, m.Conflicts, m.FastPath, m.SlowPath, m.Unexpected)
+	}
+	if plan.Active() {
+		fmt.Printf("faults: %v\n", res.Faults)
+		r := res.Reliability
+		fmt.Printf("repair: sent=%d retransmits=%d dups-dropped=%d out-of-order=%d sacks=%d rnr-retries=%d\n",
+			r.Sent, r.Retransmits, r.DupDropped, r.OutOfOrder, r.Sacks, r.SendRNR)
 	}
 }
 

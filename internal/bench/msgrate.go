@@ -11,6 +11,7 @@ import (
 	"repro/internal/dpa"
 	"repro/internal/match"
 	"repro/internal/mpi"
+	"repro/internal/rdma"
 )
 
 // MsgRateConfig describes one Figure 8 scenario. The defaults mirror §VI:
@@ -34,6 +35,12 @@ type MsgRateConfig struct {
 	PayloadBytes int
 	// Threads is the DPA thread count (default 32).
 	Threads int
+	// Faults optionally injects deterministic fabric faults; an active plan
+	// arms the reliability sublayer, whose counters land in the result.
+	Faults rdma.FaultPlan
+	// RetxTimeout overrides the reliability retransmit timeout (faulty runs
+	// only; zero keeps the mpi default).
+	RetxTimeout time.Duration
 }
 
 func (c *MsgRateConfig) fill() {
@@ -76,6 +83,9 @@ type MsgRateResult struct {
 	Engine     mpi.EngineKind
 	MatchStats core.EngineStats // offload engine only
 	Depth      match.Stats      // receiver-side search-depth profile
+	// Faults and Reliability are populated when cfg.Faults is active.
+	Faults      rdma.FaultSnapshot
+	Reliability mpi.ReliabilitySnapshot
 }
 
 // String renders one result row.
@@ -98,11 +108,13 @@ const (
 func RunMsgRate(cfg MsgRateConfig) (*MsgRateResult, error) {
 	cfg.fill()
 	w, err := mpi.NewWorld(2, mpi.Options{
-		Engine:     cfg.Engine,
-		Matcher:    cfg.Matcher,
-		DPA:        dpa.Config{Threads: cfg.Threads},
-		RecvDepth:  2 * cfg.K,
-		EagerLimit: 1024,
+		Engine:      cfg.Engine,
+		Matcher:     cfg.Matcher,
+		DPA:         dpa.Config{Threads: cfg.Threads},
+		RecvDepth:   2 * cfg.K,
+		EagerLimit:  1024,
+		Faults:      cfg.Faults,
+		RetxTimeout: cfg.RetxTimeout,
 	})
 	if err != nil {
 		return nil, err
@@ -184,6 +196,10 @@ func RunMsgRate(cfg MsgRateConfig) (*MsgRateResult, error) {
 		res.Depth = m.DepthStats()
 	} else {
 		res.Depth = w.Proc(1).HostStats()
+	}
+	if cfg.Faults.Active() {
+		res.Faults = w.FaultStats()
+		res.Reliability = w.ReliabilityStats()
 	}
 	return res, nil
 }

@@ -177,9 +177,17 @@ func (p *Pipeline) run() {
 
 		// Control traffic (e.g. rendezvous ACKs) bypasses matching; it is
 		// handled here on the formation loop, overlapping the previous
-		// block's handlers.
+		// block's handlers. Error completions (transport faults such as
+		// rdma.ErrBufferSize) never enter a matching block: they go to
+		// Control when one is installed and are discarded otherwise.
 		w.comps = w.comps[:0]
 		for _, c := range gathered {
+			if c.Err != nil {
+				if p.Control != nil {
+					p.Control(c)
+				}
+				continue
+			}
 			if p.Classify != nil && !p.Classify(c) {
 				p.Control(c)
 				continue

@@ -21,7 +21,10 @@ type AdaptiveMatcher struct {
 	// label/seq continuity across migration
 	carry Stats
 
-	lastSearches uint64
+	// Snapshot of the cumulative counters at the previous policy check,
+	// so each check evaluates the mean depth of the last window only.
+	lastSearches  uint64
+	lastTraversed uint64
 }
 
 // AdaptiveConfig tunes the migration policy.
@@ -58,7 +61,11 @@ func NewAdaptiveMatcher(cfg AdaptiveConfig) *AdaptiveMatcher {
 // Migrated reports whether the matcher has switched to the binned design.
 func (m *AdaptiveMatcher) Migrated() bool { return m.migrated }
 
-// maybeMigrate checks the policy after each operation.
+// maybeMigrate checks the policy after each operation. The decision uses
+// the mean search depth over the last sampling window only — the delta of
+// (traversed, searches) since the previous check — matching Bayatpour's
+// design: the cumulative mean would dilute recent congestion with the
+// entire shallow history, making migration ever less sensitive over time.
 func (m *AdaptiveMatcher) maybeMigrate() {
 	if m.migrated {
 		return
@@ -68,8 +75,12 @@ func (m *AdaptiveMatcher) maybeMigrate() {
 	if searches < m.lastSearches+m.window {
 		return
 	}
+	traversed := st.ArriveTraversed + st.PostTraversed
+	dSearches := searches - m.lastSearches
+	dTraversed := traversed - m.lastTraversed
 	m.lastSearches = searches
-	if st.AvgDepth() < m.threshold {
+	m.lastTraversed = traversed
+	if float64(dTraversed)/float64(dSearches) < m.threshold {
 		return
 	}
 	m.migrate()

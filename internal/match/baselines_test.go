@@ -135,6 +135,34 @@ func TestAdaptiveMigrationTrigger(t *testing.T) {
 	}
 }
 
+// TestAdaptiveWindowedMeanNotDiluted pins the windowed migration policy:
+// a long shallow phase must not desensitize the trigger. Under the old
+// cumulative-mean policy the shallow history dilutes the recent deep
+// window below the threshold and migration never fires.
+func TestAdaptiveWindowedMeanNotDiluted(t *testing.T) {
+	m := match.NewAdaptiveMatcher(match.AdaptiveConfig{Window: 16, Threshold: 2, Bins: 32})
+	// Phase 1: thousands of depth-0/1 searches.
+	for i := 0; i < 4096; i++ {
+		m.PostRecv(&match.Recv{Source: 1, Tag: 1})
+		m.Arrive(&match.Envelope{Source: 1, Tag: 1})
+	}
+	if m.Migrated() {
+		t.Fatal("shallow phase triggered migration")
+	}
+	// Phase 2: one window of deep searches. Windowed mean is ~32; the
+	// cumulative mean stays ~0.5, far below the threshold.
+	const deep = 64
+	for i := 0; i < deep; i++ {
+		m.PostRecv(&match.Recv{Source: match.Rank(i % 8), Tag: match.Tag(100 + i)})
+	}
+	for i := deep - 1; i >= 0; i-- {
+		m.Arrive(&match.Envelope{Source: match.Rank(i % 8), Tag: match.Tag(100 + i)})
+	}
+	if !m.Migrated() {
+		t.Fatalf("deep window diluted by shallow history: %+v", m.Stats())
+	}
+}
+
 func TestAdaptiveStaysOnListWhenShallow(t *testing.T) {
 	m := match.NewAdaptiveMatcher(match.AdaptiveConfig{Window: 8, Threshold: 4})
 	// Perfectly shallow traffic: always match at the head.

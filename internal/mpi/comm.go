@@ -125,7 +125,7 @@ func (p *Proc) isend(dst, tag int, comm match.CommID, data []byte) (*Request, er
 			comm: int32(comm), size: uint32(len(data)), hashes: hashes}
 		h.encode(buf)
 		copy(buf[headerSize:], data)
-		err := p.sendQP[dst].Send(buf, 0, 0)
+		err := p.sendWire(dst, buf)
 		*bp = buf[:0]
 		p.w.stagebufs.Put(bp)
 		if err != nil {
@@ -147,7 +147,7 @@ func (p *Proc) isend(dst, tag int, comm match.CommID, data []byte) (*Request, er
 	h := header{kind: kindRTS, src: int32(p.rank), tag: int32(tag),
 		comm: int32(comm), size: uint32(len(data)), rkey: mr.RKey, hashes: hashes}
 	h.encode(buf[:])
-	if err := p.sendQP[dst].Send(buf[:], 0, 0); err != nil {
+	if err := p.sendWire(dst, buf[:]); err != nil {
 		p.pendMu.Lock()
 		delete(p.pending, mr.RKey)
 		p.pendMu.Unlock()

@@ -60,8 +60,14 @@ func (e *hostEngine) run() {
 		}
 		for i := 0; i < n; i++ {
 			c := batch[i]
+			if c.Err != nil {
+				// Error completion (e.g. rdma.ErrBufferSize): the posted
+				// buffer is attached unfilled; recycle it and move on.
+				e.p.repost(c.Data)
+				continue
+			}
 			h, err := decodeHeader(c.Data)
-			if err != nil {
+			if err != nil || h.kind == kindSack {
 				e.p.repost(c.Data)
 				continue
 			}
@@ -179,11 +185,14 @@ func newOffloadEngine(p *Proc) (*offloadEngine, error) {
 	return e, nil
 }
 
-// classify routes completions: ACKs and fallback-communicator messages
-// bypass the matching blocks.
+// classify routes completions: error completions, ACKs, sacks, and
+// fallback-communicator messages bypass the matching blocks.
 func (e *offloadEngine) classify(c rdma.Completion) bool {
+	if c.Err != nil {
+		return false
+	}
 	h, err := decodeHeader(c.Data)
-	if err != nil || h.kind == kindAck {
+	if err != nil || h.kind == kindAck || h.kind == kindSack {
 		return false
 	}
 	if len(e.fallbackComms) != 0 && e.fallbackComms[match.CommID(h.comm)] {
@@ -234,11 +243,15 @@ func (e *offloadEngine) handle(tid int, res core.Result, c rdma.Completion) {
 	e.p.repost(c.Data)
 }
 
-// control handles rendezvous ACKs and fallback-communicator arrivals
-// without entering a matching block.
+// control handles error completions, rendezvous ACKs, and
+// fallback-communicator arrivals without entering a matching block.
 func (e *offloadEngine) control(c rdma.Completion) {
+	if c.Err != nil {
+		e.p.repost(c.Data)
+		return
+	}
 	h, err := decodeHeader(c.Data)
-	if err != nil {
+	if err != nil || h.kind == kindSack {
 		e.p.repost(c.Data)
 		return
 	}
@@ -324,8 +337,12 @@ func (e *rawEngine) run() {
 		}
 		for i := 0; i < n; i++ {
 			c := batch[i]
+			if c.Err != nil {
+				e.p.repost(c.Data)
+				continue
+			}
 			h, err := decodeHeader(c.Data)
-			if err != nil {
+			if err != nil || h.kind == kindSack {
 				e.p.repost(c.Data)
 				continue
 			}

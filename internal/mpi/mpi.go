@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dpa"
@@ -82,6 +83,17 @@ type Options struct {
 	DPA dpa.Config
 	// Cost is the fabric latency model.
 	Cost rdma.Cost
+	// Faults is the fabric fault plan. An active plan (rdma.FaultPlan
+	// with any nonzero rate) arms deterministic fault injection on every
+	// QP and enables the reliability sublayer (reliable.go): per-peer
+	// sequence numbers, duplicate suppression, reordering repair, and
+	// ack/retransmit with capped exponential backoff. The zero plan
+	// leaves the fabric lossless and the hot path untouched.
+	Faults rdma.FaultPlan
+	// RetxTimeout is the reliability retransmission timeout (default
+	// 2ms); backoff doubles per retry up to 16x. Only meaningful when
+	// Faults is active.
+	RetxTimeout time.Duration
 	// CommInfo declares communicator info objects (§IV-E / §VII) ahead of
 	// time: matching assertions to propagate to the offloaded engine, and
 	// offload opt-outs. Each offloaded declared communicator is budgeted
@@ -144,6 +156,7 @@ func NewWorld(n int, opts Options) (*World, error) {
 	}
 	opts.fill()
 	w := &World{opts: opts, fabric: rdma.NewFabric()}
+	w.fabric.SetFaults(opts.Faults) // before ConnectPair: QPs inherit injectors
 	w.payloads.New = func() any {
 		b := make([]byte, 0, w.opts.EagerLimit)
 		return &b
@@ -170,7 +183,7 @@ func NewWorld(n int, opts Options) (*World, error) {
 			src, dst := w.procs[i], w.procs[j]
 			sendEnd, _ := w.fabric.ConnectPair(
 				rdma.QPConfig{Depth: opts.RecvDepth},
-				rdma.QPConfig{RecvCQ: dst.recvCQ, RQ: dst.srq, Depth: opts.RecvDepth},
+				rdma.QPConfig{RecvCQ: dst.rawCQ, RQ: dst.srq, Depth: opts.RecvDepth},
 			)
 			src.sendQP[j] = sendEnd
 		}
@@ -198,10 +211,32 @@ func (w *World) Close() {
 				qp.Close()
 			}
 		}
+		// Stop the reliability filters before the engines: each filter
+		// feeds its engine's CQ and must drain before that CQ closes.
+		for _, p := range w.procs {
+			if p.rel != nil {
+				p.rel.shutdown()
+			}
+		}
 		for _, p := range w.procs {
 			p.engine.close()
 		}
 	})
+}
+
+// FaultStats returns the fabric-wide injected-fault counters.
+func (w *World) FaultStats() rdma.FaultSnapshot { return w.fabric.FaultStats() }
+
+// ReliabilityStats aggregates the reliability sublayer's counters across
+// all ranks; the zero snapshot is returned when faults are inactive.
+func (w *World) ReliabilityStats() ReliabilitySnapshot {
+	var out ReliabilitySnapshot
+	for _, p := range w.procs {
+		if p.rel != nil {
+			out = out.Add(p.rel.stats.Snapshot())
+		}
+	}
+	return out
 }
 
 // Proc is one rank of a World.
@@ -211,10 +246,15 @@ type Proc struct {
 	n    int
 
 	sendQP []*rdma.QP
+	// rawCQ receives fabric completions; recvCQ is what the engine
+	// drains. They are the same queue on a lossless fabric; under an
+	// active fault plan the reliability filter sits between them.
+	rawCQ  *rdma.CQ
 	recvCQ *rdma.CQ
 	srq    *rdma.RecvQueue
 
 	engine engine
+	rel    *reliability // non-nil only under an active fault plan
 
 	pendMu  sync.Mutex
 	pending map[uint64]*pendingSend // rendezvous sends by rkey
@@ -240,6 +280,13 @@ func newProc(w *World, rank, n int) (*Proc, error) {
 		srq:     rdma.NewRecvQueue(w.opts.RecvDepth),
 		pending: make(map[uint64]*pendingSend),
 	}
+	p.rawCQ = p.recvCQ
+	if w.opts.Faults.Active() {
+		// Interpose the reliability filter: the fabric fills rawCQ, the
+		// filter republishes repaired streams onto recvCQ for the engine.
+		p.rawCQ = rdma.NewCQ()
+		p.rel = newReliability(p, w.opts.RetxTimeout)
+	}
 	// Stock the bounce-buffer pool (§IV-A: buffers live in NIC memory).
 	bufSize := headerSize + w.opts.EagerLimit
 	for i := 0; i < w.opts.RecvDepth; i++ {
@@ -262,7 +309,21 @@ func newProc(w *World, rank, n int) (*Proc, error) {
 	return p, nil
 }
 
-func (p *Proc) start() error { return p.engine.start() }
+func (p *Proc) start() error {
+	if p.rel != nil {
+		p.rel.start()
+	}
+	return p.engine.start()
+}
+
+// ReliabilityStats returns this rank's reliability counters; the zero
+// snapshot when faults are inactive.
+func (p *Proc) ReliabilityStats() ReliabilitySnapshot {
+	if p.rel == nil {
+		return ReliabilitySnapshot{}
+	}
+	return p.rel.stats.Snapshot()
+}
 
 // Rank returns the process rank.
 func (p *Proc) Rank() int { return p.rank }
@@ -374,13 +435,23 @@ func (p *Proc) recycleRecv(r *match.Recv) {
 	p.w.recvs.Put(r)
 }
 
+// sendWire pushes an encoded message toward dst, through the reliability
+// sublayer when it is armed (which assigns the sequence number and owns
+// retransmission) or straight onto the QP otherwise.
+func (p *Proc) sendWire(dst int, wire []byte) error {
+	if p.rel != nil {
+		return p.rel.send(dst, wire)
+	}
+	return p.sendQP[dst].Send(wire, 0, 0)
+}
+
 // sendAck notifies a sender that its rendezvous data has been read.
 func (p *Proc) sendAck(dst int, rkey uint64) {
 	var buf [headerSize]byte
 	h := header{kind: kindAck, src: int32(p.rank), rkey: rkey}
 	h.encode(buf[:])
 	// Best effort: a closed world drops the ack.
-	_ = p.sendQP[dst].Send(buf[:], 0, 0)
+	_ = p.sendWire(dst, buf[:])
 }
 
 // handleAck completes a pending rendezvous send.

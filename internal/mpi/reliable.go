@@ -1,0 +1,362 @@
+package mpi
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/rdma"
+)
+
+// This file implements the reliability sublayer that sits between the
+// (possibly faulty) fabric and the matching engines. On real BlueField
+// hardware the RC transport retransmits below the NIC's matching unit;
+// our simulated fabric instead exposes its faults (drop, duplication,
+// reordering, RNR NAKs — rdma.FaultPlan) and this layer repairs them, so
+// the engines above observe exactly the per-peer in-order, exactly-once
+// message streams they would see on a lossless run. Matching outcomes are
+// therefore identical with and without injected faults.
+//
+// Protocol: every reliable message (eager, RTS, rendezvous ACK) carries a
+// per-(sender, destination) sequence number. The receiver delivers only
+// in sequence order, buffering out-of-order arrivals and discarding
+// duplicates, and acknowledges with a cumulative kindSack control message
+// (exempt from fault injection, but loss-tolerant: every later arrival
+// re-acks). The sender retains a copy of each unacked message and
+// retransmits on a timeout that backs off exponentially up to a cap.
+
+// reliability is the per-rank instance of the sublayer.
+type reliability struct {
+	p *Proc
+
+	// send side: one state per destination rank, created at start.
+	sends []relSend
+
+	// receive side: one state per source rank; touched only by the run
+	// goroutine, so unlocked.
+	recvs []relRecv
+
+	// sackBuf reuses one header buffer for outgoing acks (run goroutine
+	// only); sackDirty collects the sources to ack after each CQ batch so
+	// acks coalesce instead of doubling the message count.
+	sackBuf   [headerSize]byte
+	sackDirty []bool
+
+	retxTimeout time.Duration
+	retxMax     time.Duration
+
+	stats ReliabilityStats
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// relSend tracks the unacked window toward one destination.
+type relSend struct {
+	mu      sync.Mutex
+	nextSeq uint32
+	pending map[uint32]*relPending
+}
+
+// relPending is one retained in-flight message.
+type relPending struct {
+	wire     []byte // full header+payload copy, pool-backed
+	deadline time.Time
+	backoff  time.Duration
+}
+
+// relRecv tracks the in-order delivery cursor from one source.
+type relRecv struct {
+	expected uint32
+	buffered map[uint32]rdma.Completion // future sequences, bounce buffers held
+}
+
+// ReliabilityStats counts the sublayer's work. All counters are atomic;
+// Snapshot returns a plain copy.
+type ReliabilityStats struct {
+	Sent        atomic.Uint64 // reliable messages first-sent
+	Retransmits atomic.Uint64 // timeout-driven re-sends
+	Acked       atomic.Uint64 // pending entries retired by a sack
+	Sacks       atomic.Uint64 // cumulative acks transmitted
+	DupDropped  atomic.Uint64 // duplicate arrivals suppressed
+	OutOfOrder  atomic.Uint64 // arrivals buffered for reordering
+	SendRNR     atomic.Uint64 // sends refused by the fabric (retried later)
+}
+
+// ReliabilitySnapshot is a point-in-time copy of ReliabilityStats.
+type ReliabilitySnapshot struct {
+	Sent        uint64
+	Retransmits uint64
+	Acked       uint64
+	Sacks       uint64
+	DupDropped  uint64
+	OutOfOrder  uint64
+	SendRNR     uint64
+}
+
+// Snapshot copies the counters.
+func (s *ReliabilityStats) Snapshot() ReliabilitySnapshot {
+	return ReliabilitySnapshot{
+		Sent:        s.Sent.Load(),
+		Retransmits: s.Retransmits.Load(),
+		Acked:       s.Acked.Load(),
+		Sacks:       s.Sacks.Load(),
+		DupDropped:  s.DupDropped.Load(),
+		OutOfOrder:  s.OutOfOrder.Load(),
+		SendRNR:     s.SendRNR.Load(),
+	}
+}
+
+// Add folds another snapshot into s, for world-wide aggregation.
+func (s ReliabilitySnapshot) Add(t ReliabilitySnapshot) ReliabilitySnapshot {
+	s.Sent += t.Sent
+	s.Retransmits += t.Retransmits
+	s.Acked += t.Acked
+	s.Sacks += t.Sacks
+	s.DupDropped += t.DupDropped
+	s.OutOfOrder += t.OutOfOrder
+	s.SendRNR += t.SendRNR
+	return s
+}
+
+func newReliability(p *Proc, timeout time.Duration) *reliability {
+	if timeout <= 0 {
+		timeout = 2 * time.Millisecond
+	}
+	rel := &reliability{
+		p:           p,
+		sends:       make([]relSend, p.n),
+		recvs:       make([]relRecv, p.n),
+		sackDirty:   make([]bool, p.n),
+		retxTimeout: timeout,
+		retxMax:     16 * timeout,
+		stop:        make(chan struct{}),
+	}
+	for i := range rel.sends {
+		rel.sends[i].pending = make(map[uint32]*relPending)
+	}
+	for i := range rel.recvs {
+		rel.recvs[i].buffered = make(map[uint32]rdma.Completion)
+	}
+	return rel
+}
+
+// start launches the receive filter and the retransmit timer.
+func (rel *reliability) start() {
+	rel.wg.Add(2)
+	go rel.run()
+	go rel.retransmitLoop()
+}
+
+// shutdown stops both goroutines. The raw CQ must be closed first so run
+// drains and exits; pending unacked messages are abandoned (world close
+// implies all application traffic already completed).
+func (rel *reliability) shutdown() {
+	rel.p.rawCQ.Close()
+	close(rel.stop)
+	rel.wg.Wait()
+}
+
+// seqBefore reports a < b in wraparound-safe sequence arithmetic.
+func seqBefore(a, b uint32) bool { return int32(a-b) < 0 }
+
+// send transmits one reliable message: it assigns the next sequence
+// number toward dst, patches it into the encoded header, retains a copy
+// for retransmission, and pushes the message onto the wire. Fabric
+// refusals (RNR NAK, full wire) are not errors — the retransmit timer
+// repairs them — so send only fails once the world is closed.
+func (rel *reliability) send(dst int, wire []byte) error {
+	s := &rel.sends[dst]
+	s.mu.Lock()
+	seq := s.nextSeq
+	s.nextSeq++
+	putSeq(wire, seq)
+
+	// Retain a pool-backed copy until the ack arrives.
+	bp := rel.p.w.stagebufs.Get().(*[]byte)
+	keep := *bp
+	if cap(keep) < len(wire) {
+		keep = make([]byte, len(wire))
+	} else {
+		keep = keep[:len(wire)]
+	}
+	copy(keep, wire)
+	s.pending[seq] = &relPending{
+		wire:     keep,
+		deadline: time.Now().Add(rel.retxTimeout),
+		backoff:  rel.retxTimeout,
+	}
+
+	// First transmission attempt, inside the lock so the per-QP wire
+	// order (and thus the fault schedule) follows sequence order.
+	err := rel.p.sendQP[dst].Send(wire, 0, 0)
+	s.mu.Unlock()
+	rel.stats.Sent.Add(1)
+	if err == rdma.ErrNoReceive {
+		rel.stats.SendRNR.Add(1)
+		err = nil
+	}
+	if err == rdma.ErrClosed {
+		return err
+	}
+	return nil
+}
+
+// putSeq patches the sequence field of an encoded header.
+func putSeq(wire []byte, seq uint32) {
+	wire[seqOffset] = byte(seq)
+	wire[seqOffset+1] = byte(seq >> 8)
+	wire[seqOffset+2] = byte(seq >> 16)
+	wire[seqOffset+3] = byte(seq >> 24)
+}
+
+// retransmitLoop re-sends unacked messages whose deadline passed, backing
+// off exponentially per message up to retxMax.
+func (rel *reliability) retransmitLoop() {
+	defer rel.wg.Done()
+	tick := time.NewTicker(rel.retxTimeout / 2)
+	defer tick.Stop()
+	for {
+		select {
+		case <-rel.stop:
+			return
+		case now := <-tick.C:
+			for dst := range rel.sends {
+				s := &rel.sends[dst]
+				s.mu.Lock()
+				for _, pe := range s.pending {
+					if now.Before(pe.deadline) {
+						continue
+					}
+					if err := rel.p.sendQP[dst].Send(pe.wire, 0, 0); err == rdma.ErrNoReceive {
+						rel.stats.SendRNR.Add(1)
+					}
+					rel.stats.Retransmits.Add(1)
+					pe.backoff *= 2
+					if pe.backoff > rel.retxMax {
+						pe.backoff = rel.retxMax
+					}
+					pe.deadline = now.Add(pe.backoff)
+				}
+				s.mu.Unlock()
+			}
+		}
+	}
+}
+
+// handleSack retires every pending entry below the cumulative ack.
+func (rel *reliability) handleSack(h header) {
+	dst := int(h.src) // the acker is our destination
+	if dst < 0 || dst >= len(rel.sends) {
+		return
+	}
+	s := &rel.sends[dst]
+	s.mu.Lock()
+	for seq, pe := range s.pending {
+		if seqBefore(seq, h.seq) {
+			buf := pe.wire[:0]
+			rel.p.w.stagebufs.Put(&buf)
+			delete(s.pending, seq)
+			rel.stats.Acked.Add(1)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// run is the receive filter: it drains the raw fabric CQ, repairs the
+// stream (dedup, reorder, ack), and republishes engine-ready completions
+// onto p.recvCQ in per-source sequence order. Bounce-buffer accounting is
+// exact: every buffer is either reposted here (duplicates, acks, errors)
+// or forwarded downstream exactly once for the engine to repost.
+func (rel *reliability) run() {
+	defer rel.wg.Done()
+	p := rel.p
+	batch := make([]rdma.Completion, cqDrainBatch)
+	for cursor := uint64(0); ; {
+		n, ok := p.rawCQ.WaitBatch(cursor, batch)
+		if !ok {
+			return
+		}
+		for i := 0; i < n; i++ {
+			c := batch[i]
+			if c.Err != nil {
+				// Error completion (e.g. ErrBufferSize): the posted buffer
+				// is attached unfilled; recycle it and move on.
+				p.repost(c.Data)
+				continue
+			}
+			h, err := decodeHeader(c.Data)
+			if err != nil {
+				p.repost(c.Data)
+				continue
+			}
+			if h.kind == kindSack {
+				rel.handleSack(h)
+				p.repost(c.Data)
+				continue
+			}
+			rel.admit(h, c)
+		}
+		cursor += uint64(n)
+		p.rawCQ.Trim(cursor)
+		rel.flushSacks()
+	}
+}
+
+// admit applies the go-back-window acceptance rule to one arrival.
+func (rel *reliability) admit(h header, c rdma.Completion) {
+	src := int(h.src)
+	if src < 0 || src >= len(rel.recvs) {
+		rel.p.repost(c.Data)
+		return
+	}
+	r := &rel.recvs[src]
+	switch {
+	case h.seq == r.expected:
+		r.expected++
+		rel.p.recvCQ.Push(c)
+		// Drain any buffered successors that are now in order.
+		for {
+			bc, ok := r.buffered[r.expected]
+			if !ok {
+				break
+			}
+			delete(r.buffered, r.expected)
+			r.expected++
+			rel.p.recvCQ.Push(bc)
+		}
+	case seqBefore(r.expected, h.seq):
+		// Future sequence: hold the bounce buffer until the gap fills.
+		// A retransmission may duplicate a buffered message; drop those.
+		if _, dup := r.buffered[h.seq]; dup {
+			rel.stats.DupDropped.Add(1)
+			rel.p.repost(c.Data)
+		} else {
+			rel.stats.OutOfOrder.Add(1)
+			r.buffered[h.seq] = c
+		}
+	default:
+		// Already delivered: a duplicate or a retransmission that crossed
+		// our sack. Re-ack so the sender stops retransmitting.
+		rel.stats.DupDropped.Add(1)
+		rel.p.repost(c.Data)
+	}
+	rel.sackDirty[src] = true
+}
+
+// flushSacks sends one cumulative ack to every source that had traffic in
+// the last batch. Sacks ride SendControl: exempt from fault injection and
+// dropped rather than blocking when the wire is full — the next arrival
+// or retransmission re-triggers them.
+func (rel *reliability) flushSacks() {
+	for src, dirty := range rel.sackDirty {
+		if !dirty {
+			continue
+		}
+		rel.sackDirty[src] = false
+		h := header{kind: kindSack, src: int32(rel.p.rank), seq: rel.recvs[src].expected}
+		h.encode(rel.sackBuf[:])
+		_ = rel.p.sendQP[src].SendControl(rel.sackBuf[:], 0, 0)
+		rel.stats.Sacks.Add(1)
+	}
+}

@@ -12,12 +12,14 @@ const (
 	kindEager uint8 = iota + 1 // header + full payload (§IV-B eager)
 	kindRTS                    // rendezvous ready-to-send: header + rkey
 	kindAck                    // rendezvous completion acknowledgement
+	kindSack                   // reliability cumulative sequence ack (reliable.go)
 )
 
 // headerSize is the fixed wire header length. The layout mirrors what the
 // paper's prototype carries: the matching triple, the payload size, the
-// rendezvous memory key, and the three sender-computed hash values of the
-// §IV-D "inline hash values" optimization.
+// per-peer reliability sequence number, the rendezvous memory key, and the
+// three sender-computed hash values of the §IV-D "inline hash values"
+// optimization.
 const headerSize = 64
 
 // header is the decoded wire header.
@@ -27,6 +29,8 @@ type header struct {
 	tag    int32
 	comm   int32
 	size   uint32
+	seq    uint32 // reliability sequence number; for kindSack, the
+	// cumulative ack (all sequences below it were delivered)
 	rkey   uint64
 	hashes match.InlineHashes
 }
@@ -41,11 +45,16 @@ func (h *header) encode(dst []byte) {
 	le.PutUint32(dst[8:], uint32(h.tag))
 	le.PutUint32(dst[12:], uint32(h.comm))
 	le.PutUint32(dst[16:], h.size)
+	le.PutUint32(dst[20:], h.seq)
 	le.PutUint64(dst[24:], h.rkey)
 	le.PutUint64(dst[32:], h.hashes.SrcTag)
 	le.PutUint64(dst[40:], h.hashes.Tag)
 	le.PutUint64(dst[48:], h.hashes.Src)
 }
+
+// seqOffset locates the sequence-number field so the reliability layer can
+// patch an already-encoded header without re-encoding it.
+const seqOffset = 20
 
 // decodeHeader parses a wire header.
 func decodeHeader(b []byte) (header, error) {
@@ -59,6 +68,7 @@ func decodeHeader(b []byte) (header, error) {
 		tag:  int32(le.Uint32(b[8:])),
 		comm: int32(le.Uint32(b[12:])),
 		size: le.Uint32(b[16:]),
+		seq:  le.Uint32(b[20:]),
 		rkey: le.Uint64(b[24:]),
 		hashes: match.InlineHashes{
 			SrcTag: le.Uint64(b[32:]),
@@ -66,7 +76,7 @@ func decodeHeader(b []byte) (header, error) {
 			Src:    le.Uint64(b[48:]),
 		},
 	}
-	if h.kind < kindEager || h.kind > kindAck {
+	if h.kind < kindEager || h.kind > kindSack {
 		return header{}, fmt.Errorf("mpi: unknown message kind %d", h.kind)
 	}
 	return h, nil

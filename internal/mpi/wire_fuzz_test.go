@@ -23,7 +23,7 @@ func FuzzDecodeHeader(f *testing.F) {
 		if err != nil {
 			return
 		}
-		if got.kind < kindEager || got.kind > kindAck {
+		if got.kind < kindEager || got.kind > kindSack {
 			t.Fatalf("decode accepted kind %d", got.kind)
 		}
 		var buf [headerSize]byte

@@ -12,6 +12,9 @@ type Completion struct {
 	Bytes int    // payload length
 	Imm   uint32 // immediate data carried by sends
 	Data  []byte // receive completions: the filled buffer (len = Bytes)
+	Err   error  // non-nil for error completions (e.g. ErrBufferSize);
+	// Data then carries the (unfilled) posted buffer for recycling and
+	// Bytes the length the operation would have needed.
 }
 
 // CQ is a completion queue. Unlike hardware rings it retains a sliding

@@ -46,6 +46,10 @@ type QP struct {
 	peer *QP
 	wire chan wireMsg
 
+	// inj is the QP's deterministic fault stream; nil on a lossless
+	// fabric, in which case Send keeps its blocking semantics.
+	inj *injector
+
 	done      chan struct{}
 	closeOnce sync.Once
 }
@@ -59,10 +63,18 @@ type QPConfig struct {
 }
 
 // ConnectPair creates two connected QPs on the fabric and starts their
-// delivery engines.
+// delivery engines. Under an active fault plan the QPs are assigned
+// consecutive creation indices (2k and 2k+1 for the k-th pair) that key
+// their fault-decision streams and any per-QP rate overrides.
 func (f *Fabric) ConnectPair(a, b QPConfig) (*QP, *QP) {
 	qa := newQP(f, a)
 	qb := newQP(f, b)
+	f.mu.Lock()
+	ida, idb := f.nextQP, f.nextQP+1
+	f.nextQP += 2
+	f.mu.Unlock()
+	qa.inj = f.newInjector(ida)
+	qb.inj = f.newInjector(idb)
 	qa.peer, qb.peer = qb, qa
 	go qa.deliver()
 	go qb.deliver()
@@ -91,17 +103,138 @@ func newQP(f *Fabric, cfg QPConfig) *QP {
 // Send transmits data with immediate value imm. The payload is copied, so
 // the caller may reuse data immediately; the send completion is posted to
 // the send CQ. Returns ErrClosed after Close.
+//
+// On a lossless fabric Send blocks while the wire is full. Under an
+// active fault plan it never blocks: a full wire surfaces ErrNoReceive
+// (the RNR NAK a reliability layer must retry through), and the QP's
+// injector may additionally drop, duplicate, delay, or stall the message,
+// or fail the send with an injected RNR.
 func (q *QP) Send(data []byte, imm uint32, wrID uint64) error {
 	charge(q.fabric.cost.SendWire + q.fabric.cost.data(len(data)))
+	if q.inj != nil {
+		return q.sendFaulty(data, imm, wrID)
+	}
 	msg := wireMsg{data: q.fabric.wireCopy(data), imm: imm}
 	select {
 	case q.peer.wire <- msg:
 	case <-q.peer.done:
 		return ErrClosed
 	}
-	if q.sendCQ != nil {
-		q.sendCQ.Push(Completion{Op: OpSend, WRID: wrID, Bytes: len(data), Imm: imm})
+	q.completeSend(wrID, len(data), imm)
+	return nil
+}
+
+// sendFaulty is the injected-fault send path. All PRNG draws happen under
+// the injector lock in send order, so the schedule is a deterministic
+// function of (seed, QP id, send ordinal) alone.
+func (q *QP) sendFaulty(data []byte, imm uint32, wrID uint64) error {
+	in := q.inj
+	in.mu.Lock()
+	d := in.decide()
+	if d.rnr {
+		// Receiver-not-ready NAK: the message never left; no completion.
+		q.releaseHeld()
+		in.mu.Unlock()
+		in.stats.RNRs.Add(1)
+		return ErrNoReceive
 	}
+	if d.stall {
+		in.stats.Stalls.Add(1)
+		charge(in.rates.StallTime) // CQ backpressure stalls the pipeline
+	}
+	switch {
+	case d.drop:
+		// Lost on the wire after the NIC accepted it: the sender still
+		// sees a send completion, the receiver sees nothing.
+		q.releaseHeld()
+		in.mu.Unlock()
+		in.stats.Dropped.Add(1)
+		q.completeSend(wrID, len(data), imm)
+		return nil
+	case d.delay && in.held == nil:
+		// Hold the message back; the next DelaySpan sends overtake it.
+		in.held = &wireMsg{data: q.fabric.wireCopy(data), imm: imm}
+		in.heldSpan = in.rates.DelaySpan
+		in.mu.Unlock()
+		in.stats.Delayed.Add(1)
+		q.completeSend(wrID, len(data), imm)
+		return nil
+	}
+	msg := wireMsg{data: q.fabric.wireCopy(data), imm: imm}
+	if !q.enqueue(msg) {
+		in.mu.Unlock()
+		in.stats.RNRs.Add(1)
+		return ErrNoReceive // wire full: surfaced instead of blocking
+	}
+	if d.dup {
+		// A retransmission race delivers the message twice; if the wire
+		// is full the duplicate is simply lost.
+		if q.enqueue(wireMsg{data: q.fabric.wireCopy(data), imm: imm}) {
+			in.stats.Duplicated.Add(1)
+		}
+	}
+	q.releaseHeld()
+	in.mu.Unlock()
+	q.completeSend(wrID, len(data), imm)
+	return nil
+}
+
+// releaseHeld re-injects the delayed message once enough later sends have
+// overtaken it; if the wire is full at that moment the delayed message is
+// lost (equivalent to a drop, which the reliability layer repairs).
+// Called with the injector lock held.
+func (q *QP) releaseHeld() {
+	in := q.inj
+	if in.held == nil {
+		return
+	}
+	in.heldSpan--
+	if in.heldSpan > 0 {
+		return
+	}
+	msg := *in.held
+	in.held = nil
+	if !q.enqueue(msg) {
+		in.stats.Dropped.Add(1)
+	}
+}
+
+// enqueue attempts a non-blocking wire transfer; it recycles the staged
+// copy and reports false when the wire is full or the peer closed.
+func (q *QP) enqueue(msg wireMsg) bool {
+	select {
+	case q.peer.wire <- msg:
+		return true
+	default:
+	}
+	select {
+	case q.peer.wire <- msg:
+		return true
+	case <-q.peer.done:
+	default:
+	}
+	q.fabric.wireRecycle(msg.data)
+	return false
+}
+
+// completeSend posts the local send completion.
+func (q *QP) completeSend(wrID uint64, n int, imm uint32) {
+	if q.sendCQ != nil {
+		q.sendCQ.Push(Completion{Op: OpSend, WRID: wrID, Bytes: n, Imm: imm})
+	}
+}
+
+// SendControl transmits control-plane traffic exempt from fault injection
+// (reliability acknowledgements repair the data plane, so injecting into
+// them would couple the two PRNG streams and break schedule determinism).
+// It never blocks: a full wire drops the message — control traffic must be
+// idempotent and repairable — and reports ErrNoReceive.
+func (q *QP) SendControl(data []byte, imm uint32, wrID uint64) error {
+	charge(q.fabric.cost.SendWire + q.fabric.cost.data(len(data)))
+	if !q.enqueue(wireMsg{data: q.fabric.wireCopy(data), imm: imm}) {
+		return ErrNoReceive
+	}
+	q.completeSend(wrID, len(data), imm)
 	return nil
 }
 
@@ -109,7 +242,9 @@ func (q *QP) Send(data []byte, imm uint32, wrID uint64) error {
 func (q *QP) PostRecv(buf []byte, wrID uint64) { q.rq.Post(buf, wrID) }
 
 // deliver pairs inbound messages with posted receive buffers in FIFO order
-// and pushes receive completions.
+// and pushes receive completions. A message larger than its receive buffer
+// produces an error completion carrying ErrBufferSize — never a silent
+// truncation — with the posted buffer attached for recycling.
 func (q *QP) deliver() {
 	for {
 		var msg wireMsg
@@ -122,7 +257,23 @@ func (q *QP) deliver() {
 		select {
 		case wr = <-q.rq.ch:
 		case <-q.done:
+			// The message was already dequeued: recycle its staged copy
+			// so closing the QP does not leak wire-pool entries.
+			q.fabric.wireRecycle(msg.data)
 			return
+		}
+		if len(msg.data) > len(wr.buf) {
+			need := len(msg.data)
+			q.fabric.wireRecycle(msg.data)
+			q.recvCQ.Push(Completion{
+				Op:    OpRecv,
+				WRID:  wr.wrID,
+				Bytes: need,
+				Imm:   msg.imm,
+				Data:  wr.buf[:0],
+				Err:   ErrBufferSize,
+			})
+			continue
 		}
 		n := copy(wr.buf, msg.data)
 		q.fabric.wireRecycle(msg.data)
@@ -136,9 +287,20 @@ func (q *QP) deliver() {
 	}
 }
 
-// Close shuts down the endpoint's delivery engine.
+// Close shuts down the endpoint's delivery engine and recycles any
+// delayed message still held by the fault injector.
 func (q *QP) Close() {
-	q.closeOnce.Do(func() { close(q.done) })
+	q.closeOnce.Do(func() {
+		close(q.done)
+		if q.inj != nil {
+			q.inj.mu.Lock()
+			if q.inj.held != nil {
+				q.fabric.wireRecycle(q.inj.held.data)
+				q.inj.held = nil
+			}
+			q.inj.mu.Unlock()
+		}
+	})
 }
 
 // Fabric returns the fabric the QP belongs to.

@@ -90,6 +90,14 @@ type Fabric struct {
 	nextKey uint64
 	cost    Cost
 
+	// Fault injection (fault.go): the installed plan, a fast activity
+	// flag, the fabric-wide counters, and the QP-creation counter that
+	// keys per-QP rate overrides and decision streams.
+	faults   FaultPlan
+	faultsOn bool
+	fstats   FaultStats
+	nextQP   int
+
 	// wirePool recycles the in-flight copies QP.Send stages: a wire buffer
 	// lives only from Send until the peer's delivery engine copies it into
 	// a posted receive buffer, so a small pool serves any traffic volume.

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mpi"
+	"repro/internal/rdma"
 	"repro/internal/trace"
 )
 
@@ -56,6 +57,10 @@ type Result struct {
 	// Matcher aggregates the offloaded engines' statistics over all ranks
 	// (zero for other engines).
 	Matcher core.EngineStats
+	// Faults and Reliability report injected-fault and repair counters
+	// when the world ran under an active rdma.FaultPlan.
+	Faults      rdma.FaultSnapshot
+	Reliability mpi.ReliabilitySnapshot
 }
 
 // String renders a one-line summary.
@@ -104,6 +109,8 @@ func Run(t *trace.Trace, cfg Config) (*Result, error) {
 		res.Recvs += counts[i].Recvs
 		res.Collectives += counts[i].Collectives
 	}
+	res.Faults = w.FaultStats()
+	res.Reliability = w.ReliabilityStats()
 	for r := 0; r < n; r++ {
 		if m := w.Proc(r).Matcher(); m != nil {
 			st := m.Stats()
