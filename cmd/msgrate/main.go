@@ -15,16 +15,32 @@ import (
 	"repro/internal/rdma"
 )
 
+// writeProfile dumps a named runtime profile (mutex, block) to path.
+func writeProfile(name, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "msgrate: %v\n", err)
+		return
+	}
+	defer f.Close()
+	if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+		fmt.Fprintf(os.Stderr, "msgrate: %v\n", err)
+	}
+}
+
 func main() {
 	var (
 		k          = flag.Int("k", 100, "messages per sequence (paper: 100)")
 		reps       = flag.Int("reps", 500, "sequence repetitions (paper: 500)")
 		payload    = flag.Int("payload", 8, "eager payload bytes")
 		threads    = flag.Int("threads", 32, "DPA threads (paper: 32)")
+		inflight   = flag.Int("inflight", 1, "in-flight matching blocks K, 1..8 (1 = paper's serial stream)")
 		modeled    = flag.Bool("modeled", false, "report cost-model rates (core-count independent) instead of wall clock")
 		faults     = flag.String("faults", "", "deterministic fault plan, e.g. seed=1,drop=0.05,dup=0.02,delay=0.01,rnr=0.01")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		mutexprof  = flag.String("mutexprofile", "", "write a mutex contention profile to this file on exit")
+		blockprof  = flag.String("blockprofile", "", "write a goroutine blocking profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -61,11 +77,21 @@ func main() {
 			}
 		}()
 	}
+	if *mutexprof != "" {
+		runtime.SetMutexProfileFraction(1)
+		defer writeProfile("mutex", *mutexprof)
+	}
+	if *blockprof != "" {
+		runtime.SetBlockProfileRate(1)
+		defer writeProfile("block", *blockprof)
+	}
 
 	if *modeled {
 		cm := bench.DefaultCostModel()
 		cm.Threads = *threads
-		fmt.Printf("Figure 8 (modeled) — pipeline-bottleneck rates from counted engine work, %d DPA threads\n\n", *threads)
+		cm.InFlight = *inflight
+		fmt.Printf("Figure 8 (modeled) — pipeline-bottleneck rates from counted engine work, %d DPA threads, %d in-flight block(s)\n\n",
+			*threads, *inflight)
 		rates, err := bench.RunModeledFigure8(cm, *k, min(*reps, 50))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "msgrate: %v\n", err)
@@ -77,8 +103,8 @@ func main() {
 		return
 	}
 
-	fmt.Printf("Figure 8 — message rate: k=%d, reps=%d, payload=%dB, %d DPA threads\n",
-		*k, *reps, *payload, *threads)
+	fmt.Printf("Figure 8 — message rate: k=%d, reps=%d, payload=%dB, %d DPA threads, %d in-flight block(s)\n",
+		*k, *reps, *payload, *threads, *inflight)
 	if plan.Active() {
 		fmt.Printf("fault plan: %s\n", *faults)
 	}
@@ -89,6 +115,7 @@ func main() {
 		cfg.Reps = *reps
 		cfg.PayloadBytes = *payload
 		cfg.Threads = *threads
+		cfg.InFlight = *inflight
 		cfg.Faults = plan
 		res, err := bench.RunMsgRate(cfg)
 		if err != nil {

@@ -46,8 +46,18 @@ type CostModel struct {
 	// DPASlowNS is one slow-path round (§III-D3b); slow rounds serialize
 	// against the predecessor thread, so they do not divide by Threads.
 	DPASlowNS float64
+	// DPABlockNS is the per-block serialization: CQ batch drain, block
+	// launch, the straggler bubble at the partial barrier's tail, and the
+	// retirement hand-off. In the §III-A stream of blocks this cost is paid
+	// back to back — block k+1's handlers do not start until block k
+	// completes — so it does not divide by Threads.
+	DPABlockNS float64
 	// Threads is the DPA parallel width.
 	Threads int
+	// InFlight is the matcher's in-flight block window (DESIGN.md §9):
+	// with K blocks overlapped the per-block serialization pipelines K-wide,
+	// so the block stage's occupancy divides by K. 0 means 1.
+	InFlight int
 }
 
 // DefaultCostModel reflects the §II-C architecture sketch: DPA cores are
@@ -66,7 +76,9 @@ func DefaultCostModel() CostModel {
 		DPAProbeNS:   90,
 		DPAFastNS:    700,
 		DPASlowNS:    800,
+		DPABlockNS:   800,
 		Threads:      32,
+		InFlight:     1,
 	}
 }
 
@@ -107,10 +119,16 @@ func (cm CostModel) ModelOffload(label string, st core.EngineStats, depth match.
 	probesPerMsg := float64(depth.ArriveTraversed) / msgs
 	fastPerMsg := float64(st.FastPath) / msgs
 	slowPerMsg := float64(st.SlowPath) / msgs
+	blocksPerMsg := float64(st.Blocks) / msgs
+	inflight := float64(cm.InFlight)
+	if inflight < 1 {
+		inflight = 1
+	}
 
 	parallelPerMsg := (cm.DPAHandlerNS + cm.DPABarrierNS +
 		probesPerMsg*cm.DPAProbeNS + fastPerMsg*cm.DPAFastNS) / threads
-	matchStage := parallelPerMsg + slowPerMsg*cm.DPASlowNS
+	matchStage := parallelPerMsg + slowPerMsg*cm.DPASlowNS +
+		blocksPerMsg*cm.DPABlockNS/inflight
 	return rate(label, cm.WireNS, matchStage)
 }
 
@@ -140,6 +158,7 @@ func RunModeledFigure8(cm CostModel, k, reps int) ([]ModeledRate, error) {
 	out := make([]ModeledRate, 0, 5)
 	for _, cfg := range Figure8Scenarios() {
 		cfg.K, cfg.Reps, cfg.Threads = k, reps, cm.Threads
+		cfg.InFlight = cm.InFlight
 		res, err := RunMsgRate(cfg)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", cfg.Label, err)

@@ -35,6 +35,11 @@ type MsgRateConfig struct {
 	PayloadBytes int
 	// Threads is the DPA thread count (default 32).
 	Threads int
+	// InFlight is the matcher's in-flight block window K (default 1, the
+	// paper's serial stream of blocks). Depths > 1 overlap arrival blocks;
+	// fill raises Threads to K×BlockSize (capped at the DPA maximum) so
+	// every in-flight handler activation can hold a hardware thread.
+	InFlight int
 	// Faults optionally injects deterministic fabric faults; an active plan
 	// arms the reliability sublayer, whose counters land in the result.
 	Faults rdma.FaultPlan
@@ -58,6 +63,20 @@ func (c *MsgRateConfig) fill() {
 	}
 	if c.Matcher == (core.Config{}) {
 		c.Matcher = PaperMatcherConfig()
+	}
+	if c.InFlight == 0 {
+		c.InFlight = 1
+	}
+	if c.Matcher.InFlightBlocks == 0 {
+		c.Matcher.InFlightBlocks = c.InFlight
+	}
+	if need := c.Matcher.InFlightBlocks * c.Matcher.BlockSize; c.Threads < need {
+		// The paper's geometry: 8 blocks × 32 threads fills the BF3 DPA's
+		// 256 hardware threads.
+		c.Threads = need
+		if c.Threads > dpa.MaxThreads {
+			c.Threads = dpa.MaxThreads
+		}
 	}
 }
 

@@ -151,14 +151,33 @@ func (f *frontier) waitThrough(i int) {
 
 // Block processes up to BlockSize consecutive messages in parallel. Obtain
 // one with BeginBlock, call Match concurrently from exactly n goroutines
-// (thread IDs 0..n-1, one per message in arrival order), then call Finish.
-// The matcher lock is held for the whole block, excluding posts — the
-// linearization the DPA achieves with run-to-completion handlers.
+// (thread IDs 0..n-1, one per message in arrival order), then call Finish
+// (or FinishInto). Up to Config.InFlightBlocks blocks run concurrently;
+// each carries a monotone sequence number and they retire in sequence
+// order, which is what serializes their effects (DESIGN.md §9).
 type Block struct {
-	m     *OptimisticMatcher
-	n     int
-	mask  uint32
-	epoch uint32
+	m       *OptimisticMatcher
+	n       int
+	mask    uint32
+	seq     uint64 // block sequence; blocks retire in this order
+	epoch   uint32 // uint32(seq): booking-bitmap and barrier sense tag
+	horizon uint64 // post watermark snapshot: labels >= horizon are invisible
+
+	// headAtStart records whether every lower-sequence block had already
+	// retired when this block began. If so, no steal can ever touch this
+	// block's pairings (steals only flow from lower-sequence blocks), so
+	// matched results commit at Match time — the only mode at depth 1.
+	// Otherwise every result stays provisional until retirement re-derives
+	// the block's assignments in thread order (validate).
+	headAtStart bool
+
+	// Deliver, when set, is called once per DEFERRED result (a result that
+	// could not commit at Match time because a lower-sequence block was
+	// still in flight) after the block retires, outside all engine locks.
+	// Early-committed results — the common case, and the only case at
+	// in-flight depth 1 — are never re-delivered; their Match call already
+	// returned final=true.
+	Deliver func(tid int, res Result)
 
 	fmu   sync.Mutex // shared by both frontiers
 	fcond *sync.Cond
@@ -171,58 +190,81 @@ type Block struct {
 	// Per-thread outputs; each thread writes only its own slot.
 	final   [MaxBlockSize]*descriptor
 	results [MaxBlockSize]Result
+	early   [MaxBlockSize]bool // result committed at Match time
 	tstats  [MaxBlockSize]threadStats
 
 	seqBase uint64
 }
 
 // threadStats accumulates per-thread counters, folded into EngineStats at
-// Finish to avoid atomic contention on the hot path.
+// retirement to avoid atomic contention on the hot path.
 type threadStats struct {
-	traversed  uint64
-	optimistic uint64
-	relaxed    uint64
-	conflicts  uint64
-	fastPath   uint64
-	slowPath   uint64
-	unexpected uint64
-	matched    uint64
-	maxDepth   uint64
+	traversed   uint64
+	optimistic  uint64
+	relaxed     uint64
+	conflicts   uint64
+	fastPath    uint64
+	slowPath    uint64
+	unexpected  uint64
+	matched     uint64
+	revalidated uint64
+	maxDepth    uint64
 }
 
 // BeginBlock starts an arrival block for n messages (1 <= n <= BlockSize).
-// It blocks until any in-flight posts complete and holds the matcher lock
-// until Finish.
+// Blocks must begin in arrival order; BeginBlock blocks while
+// Config.InFlightBlocks blocks are already in flight (at depth 1 this is
+// exactly the old one-block-at-a-time serialization). Posts are never
+// excluded.
 func (m *OptimisticMatcher) BeginBlock(n int) *Block {
 	if n < 1 || n > m.cfg.BlockSize {
 		panic(fmt.Sprintf("core: BeginBlock(%d) outside [1,%d]", n, m.cfg.BlockSize))
 	}
-	m.mu.Lock()
-	m.epoch++
-	// The matcher lock serializes blocks, so a single Block value is
-	// recycled: no per-block allocation on the hot path.
-	b := &m.block
+	r := &m.ring
+	r.mu.Lock()
+	for r.next-r.retired > uint64(len(r.slots)) {
+		r.cond.Wait()
+	}
+	seq := r.next
+	r.next++
+	r.nextAtomic.Store(r.next)
+	headAtStart := r.retired+1 == seq
+	seqBase := m.nextSeq
+	m.nextSeq += uint64(n)
+	// The watermark snapshot is taken under ring.mu so it is monotone in
+	// block sequence — a later block never sees fewer posts than an earlier
+	// one, which the retirement-time serialization argument relies on.
+	horizon := m.postHorizon.Load()
+	// Count the block up front: a handler may complete a user request
+	// mid-block, and an observer woken by that completion must already see
+	// the traffic in Stats(). The outcome counters fold in at retirement.
+	m.stats.blocks.Add(1)
+	m.stats.messages.Add(uint64(n))
+	r.mu.Unlock()
+
+	// The slot's previous occupant (sequence seq-K) has retired and its
+	// results were copied out, so initialization below is owner-exclusive.
+	b := &r.slots[seq%uint64(len(r.slots))]
 	b.m = m
 	b.n = n
 	b.mask = uint32(1)<<uint(n) - 1
-	b.epoch = m.epoch
+	b.seq = seq
+	b.epoch = uint32(seq)
+	b.horizon = horizon
+	b.headAtStart = headAtStart
+	b.seqBase = seqBase
+	b.Deliver = nil
 	condvar := m.cfg.CondvarBarrier
 	if condvar && b.fcond == nil {
 		b.fcond = sync.NewCond(&b.fmu)
 	}
 	b.booked.reset(condvar, &b.fmu, b.fcond, n, b.epoch)
 	b.done.reset(condvar, &b.fmu, b.fcond, n, b.epoch)
-	b.seqBase = m.nextSeq
-	m.nextSeq += uint64(n)
-	// Count the block up front: a handler may complete a user request
-	// mid-block, and an observer woken by that completion must already see
-	// the traffic in Stats(). The outcome counters fold in at Finish.
-	m.stats.blocks.Add(1)
-	m.stats.messages.Add(uint64(n))
 	for i := 0; i < n; i++ {
 		b.cand[i].Store(-1)
 		b.final[i] = nil
 		b.results[i] = Result{}
+		b.early[i] = false
 		b.tstats[i] = threadStats{}
 	}
 	return b
@@ -231,7 +273,15 @@ func (m *OptimisticMatcher) BeginBlock(n int) *Block {
 // Match matches the message for thread tid. It must be called exactly once
 // for every tid in [0, n) and may block on the partial barrier until all
 // lower-numbered threads have called it.
-func (b *Block) Match(tid int, env *match.Envelope) Result {
+//
+// The returned flag reports whether the result is FINAL: committed at Match
+// time because no lower-sequence block was still in flight. A non-final
+// result is provisional — a lower block may steal the matched receive, and
+// an unexpected verdict may be overturned by a raced post — and its settled
+// value is delivered at retirement (FinishInto, or the Deliver callback).
+// At in-flight depth 1 matched results are always final; unexpected ones
+// are published to the store at retirement and delivered then.
+func (b *Block) Match(tid int, env *match.Envelope) (Result, bool) {
 	if env.Seq == 0 {
 		env.Seq = b.seqBase + uint64(tid) + 1
 	}
@@ -246,7 +296,7 @@ func (b *Block) Match(tid int, env *match.Envelope) Result {
 
 	// Optimistic phase (§III-C): search all indexes as if alone, select the
 	// minimum-label candidate, and book it.
-	cand := b.m.searchOldest(env, tid, b.epoch, b.m.cfg.EarlyBookingCheck, st)
+	cand := b.m.searchOldest(env, tid, b.seq, b.horizon, b.m.cfg.EarlyBookingCheck, st)
 	if cand != nil {
 		cand.book(b.epoch, tid)
 		b.cand[tid].Store(cand.slot)
@@ -270,11 +320,13 @@ func (b *Block) Match(tid int, env *match.Envelope) Result {
 		if cand == nil {
 			return b.finalizeUnexpected(tid, env, PathUnexpected)
 		}
-		if cand.consume(b.epoch) {
+		if cand.consume(b.seq, tid) {
 			st.optimistic++
 			return b.finalizeMatch(tid, env, cand, PathOptimistic)
 		}
-		myLoss = true // defensive: should be unreachable
+		// Unreachable at depth 1; with blocks in flight a lower-sequence
+		// block may have taken the candidate between booking and consume.
+		myLoss = true
 	}
 	if myLoss {
 		st.conflicts++
@@ -292,19 +344,19 @@ func (b *Block) Match(tid int, env *match.Envelope) Result {
 	}
 
 	// Slow path (§III-D3b): wait for every earlier thread to finalize, then
-	// redo the search with exclusive access to the leftovers.
+	// redo the search with exclusive access to the block's leftovers.
 	b.waitLowerDone(tid)
 	st.slowPath++
 	for {
-		d := b.m.searchOldest(env, tid, b.epoch, false, st)
+		d := b.m.searchOldest(env, tid, b.seq, b.horizon, false, st)
 		if d == nil {
 			return b.finalizeUnexpected(tid, env, PathUnexpected)
 		}
-		if d.consume(b.epoch) {
+		if d.consume(b.seq, tid) {
 			return b.finalizeMatch(tid, env, d, PathSlow)
 		}
-		// A racing consumption is impossible once the lower threads are
-		// done, but retrying keeps the loop self-correcting regardless.
+		// A racing consumption by a lower-sequence in-flight block; retry
+		// against the remainder.
 	}
 }
 
@@ -312,15 +364,15 @@ func (b *Block) Match(tid int, env *match.Envelope) Result {
 // available matching receive by CAS, retrying on racing consumption. The
 // thread still participates in the booking frontier (with no candidate) so
 // ordered threads of the same block are not stalled at the partial barrier.
-func (b *Block) matchRelaxed(tid int, env *match.Envelope, st *threadStats) Result {
+func (b *Block) matchRelaxed(tid int, env *match.Envelope, st *threadStats) (Result, bool) {
 	b.booked.complete(tid)
 	st.relaxed++
 	for {
-		d := b.m.searchOldest(env, tid, b.epoch, false, st)
+		d := b.m.searchOldest(env, tid, b.seq, b.horizon, false, st)
 		if d == nil {
 			return b.finalizeUnexpected(tid, env, PathUnexpected)
 		}
-		if d.consume(b.epoch) {
+		if d.consume(b.seq, tid) {
 			return b.finalizeMatch(tid, env, d, PathOptimistic)
 		}
 	}
@@ -364,26 +416,34 @@ func (b *Block) anyLowerConflict(tid int) bool {
 }
 
 // fastShift walks the compatible sequence starting at cand and consumes the
-// entry at position tid (position 0 is cand itself). Entries consumed in
+// entry at position tid (position 0 is cand itself). Entries consumed by
 // earlier blocks are skipped without counting — they were never available
-// to this block — while entries consumed by this block's peers occupy their
-// position. It returns nil when the sequence is too short or the walk
-// leaves the sequence (different sequence ID), in which case the caller
-// must take the slow path.
+// to this block — and entries past the block's watermark are invisible,
+// while entries consumed by this block's peers (or provisionally held by
+// later blocks, which are stealable) occupy their position. It returns nil
+// when the sequence is too short or the walk leaves the sequence (different
+// sequence ID), in which case the caller must take the slow path.
 func (b *Block) fastShift(cand *descriptor, tid int) *descriptor {
 	pos := 0
 	for d := cand; d != nil; d = d.next.Load() {
 		if d.seqID != cand.seqID {
 			return nil // left the sequence of compatible receives
 		}
-		if d.isConsumed() && d.consumeEpoch.Load() != b.epoch {
-			continue // consumed before this block: never a position
+		if d.label >= b.horizon {
+			continue // posted after this block began: not yet visible
+		}
+		w := d.word.Load()
+		if ownState(w) == stateConsumed && ownSeq(w) < b.seq {
+			continue // consumed by an earlier block: never a position
+		}
+		if ownState(w) == stateFree {
+			continue // mid-recycle remnant: not a position
 		}
 		if pos == tid {
-			if d.consume(b.epoch) {
+			if d.consume(b.seq, tid) {
 				return d
 			}
-			return nil // defensive: position math violated, use slow path
+			return nil // lost a cross-block race: use the slow path
 		}
 		pos++
 	}
@@ -391,45 +451,91 @@ func (b *Block) fastShift(cand *descriptor, tid int) *descriptor {
 }
 
 // finalizeMatch records a completed pairing and signals the done bitmap.
-func (b *Block) finalizeMatch(tid int, env *match.Envelope, d *descriptor, p Path) Result {
-	if !b.m.cfg.LazyRemoval {
+// When no lower-sequence block is in flight the pairing can never be stolen
+// again, so it commits immediately (final = true); at depth 1 this is
+// always the case. Otherwise the pairing stays provisional until the block
+// retires.
+func (b *Block) finalizeMatch(tid int, env *match.Envelope, d *descriptor, p Path) (Result, bool) {
+	r := Result{Env: env, Recv: d.recv, Path: p}
+	// A pairing is final only when the block has been at the head of the
+	// retire frontier since it began: then no lower-sequence block ever
+	// coexisted with it, nothing can steal the receive, and no same-block
+	// re-derivation can reassign it (validate skips head blocks' matches).
+	final := b.headAtStart
+	b.early[tid] = final
+	if final && !b.m.cfg.LazyRemoval {
+		// Eager removal (§IV-D off) only for committed pairings: a
+		// provisional descriptor must stay linked so a lower block's redo
+		// can still reach (and steal) it.
 		eagerUnlink(d)
 	}
 	b.final[tid] = d
-	r := Result{Env: env, Recv: d.recv, Path: p}
 	b.results[tid] = r
 	b.tstats[tid].matched++
 	b.done.complete(tid)
-	return r
+	return r, final
 }
 
-// finalizeUnexpected stores the message and signals the done bitmap.
-func (b *Block) finalizeUnexpected(tid int, env *match.Envelope, p Path) Result {
-	b.m.unexpected.insert(env)
+// finalizeUnexpected records an unexpected verdict and signals the done
+// bitmap. Publication into the unexpected store is ALWAYS deferred to
+// retirement: inserting mid-block would expose the message to concurrent
+// posts while lower-sequence messages are still provisional, breaking the
+// store's arrival-prefix consistency (DESIGN.md §9).
+func (b *Block) finalizeUnexpected(tid int, env *match.Envelope, p Path) (Result, bool) {
 	r := Result{Env: env, Unexpected: true, Path: p}
+	b.early[tid] = false
+	b.final[tid] = nil
 	b.results[tid] = r
 	b.tstats[tid].unexpected++
 	b.done.complete(tid)
-	return r
+	return r, false
 }
 
-// Finish completes the block: it sweeps consumed descriptors out of their
-// chains (the deferred half of lazy removal), releases them to the free
-// pool, folds statistics, and releases the matcher lock. Per-thread
-// counters are accumulated locally and folded with one atomic add per
-// field, so concurrent Stats() readers neither block nor are blocked.
-func (b *Block) Finish() {
+// Finish retires the block; see FinishInto.
+func (b *Block) Finish() { b.finishInto(nil) }
+
+// FinishInto retires the block and copies its settled results into out
+// (len(out) >= n), in thread order. Retirement waits until every
+// lower-sequence block has retired, validates all provisional results
+// (redoing searches that lost to cross-block steals or raced posts),
+// publishes unexpected messages to the store, sweeps consumed descriptors
+// out of their chains, folds statistics, advances the retire frontier, and
+// finally runs the Deliver callback for deferred results.
+func (b *Block) FinishInto(out []Result) { b.finishInto(out) }
+
+func (b *Block) finishInto(out []Result) {
 	m := b.m
-	var agg threadStats
+	r := &m.ring
+
+	// In-order retirement: wait for the retire frontier to reach this block.
+	r.mu.Lock()
+	for r.retired+1 != b.seq {
+		r.cond.Wait()
+	}
+	r.mu.Unlock()
+
+	b.validate()
+
+	// Sweep: unlink consumed descriptors (the deferred half of lazy
+	// removal) under their bucket locks, then release them. Reclamation of
+	// the slots is gated on the blocks currently in flight — they may still
+	// be traversing a chain these descriptors were just unlinked from.
 	var reaped uint64
 	for tid := 0; tid < b.n; tid++ {
-		if d := b.final[tid]; d != nil {
-			if !d.unlinked {
-				unlink(d) // exclusive: matcher lock held, threads joined
-				reaped++
-			}
-			m.table.release(d)
+		if d := b.final[tid]; d != nil && !d.unlinked {
+			eagerUnlink(d)
+			reaped++
 		}
+	}
+	reclaimAfter := r.nextAtomic.Load() - 1
+	for tid := 0; tid < b.n; tid++ {
+		if d := b.final[tid]; d != nil {
+			m.table.release(d, reclaimAfter)
+		}
+	}
+
+	var agg threadStats
+	for tid := 0; tid < b.n; tid++ {
 		ts := &b.tstats[tid]
 		agg.traversed += ts.traversed
 		agg.optimistic += ts.optimistic
@@ -439,6 +545,7 @@ func (b *Block) Finish() {
 		agg.slowPath += ts.slowPath
 		agg.unexpected += ts.unexpected
 		agg.matched += ts.matched
+		agg.revalidated += ts.revalidated
 		if ts.maxDepth > agg.maxDepth {
 			agg.maxDepth = ts.maxDepth
 		}
@@ -450,6 +557,7 @@ func (b *Block) Finish() {
 	m.stats.unexpected.Add(agg.unexpected)
 	m.stats.relaxed.Add(agg.relaxed)
 	m.stats.lazyReaped.Add(reaped)
+	m.stats.revalidated.Add(agg.revalidated)
 	if m.cfg.LazyRemoval {
 		m.stats.lazySweeps.Add(1)
 	}
@@ -458,14 +566,158 @@ func (b *Block) Finish() {
 	storeMax(&m.depth.arriveMax, agg.maxDepth)
 	m.depth.matched.Add(agg.matched)
 	m.depth.unexpected.Add(agg.unexpected)
-	m.mu.Unlock()
+
+	if out != nil {
+		copy(out, b.results[:b.n])
+	}
+
+	// Snapshot everything deferred delivery needs BEFORE retiring: once the
+	// frontier advances, K-1 more retirements can recycle this slot for
+	// block seq+K while the deliveries below still run.
+	n := b.n
+	deliver := b.Deliver
+	var dres [MaxBlockSize]Result
+	var dearly [MaxBlockSize]bool
+	if deliver != nil {
+		copy(dres[:n], b.results[:n])
+		copy(dearly[:n], b.early[:n])
+	}
+
+	// Retire: advance the frontier, waking the next block's Finish and any
+	// BeginBlock waiting for a ring slot.
+	r.mu.Lock()
+	r.retired = b.seq
+	r.retiredAtomic.Store(b.seq)
+	r.cond.Broadcast()
+	r.mu.Unlock()
+
+	// Deferred delivery: results that could not commit at Match time reach
+	// their consumer here, outside all engine locks, in thread order.
+	if deliver != nil {
+		for tid := 0; tid < n; tid++ {
+			if !dearly[tid] {
+				deliver(tid, dres[tid])
+			}
+		}
+	}
 }
 
-// searchOldest performs the §III-C cross-index search: each index yields
-// its oldest matching available receive, and the global minimum posting
-// label wins (constraint C1 across indexes). Hash values are taken from
-// the sender-computed header when UseInlineHashes is set.
-func (m *OptimisticMatcher) searchOldest(env *match.Envelope, tid int, epoch uint32, earlyCheck bool, st *threadStats) *descriptor {
+// validate settles every provisional result under the store lock, which
+// freezes the post side. The redo horizon is the CURRENT watermark — at this
+// point the block is the oldest in flight, so its serialization point is
+// now, and all published posts are fair game. The redos and the store
+// insertions happen atomically with respect to PostRecv, so either a post
+// sees the stored message or the message's redo sees the post.
+//
+// A head-at-start block's pairings committed at Match time; only unexpected
+// verdicts can be overturned, by posts that raced the block. Any other block
+// ran while lower-sequence blocks were in flight, so its matched receives
+// may have been stolen since — and a steal invalidates not just the robbed
+// thread's pairing but potentially the whole block's ordering (the receive
+// the robbed message should now take may be held by a same-block HIGHER
+// thread). Those blocks settle by re-derivation: release every provisional
+// hold, then reassign threads in thread order, each taking the oldest
+// available receive — exactly the serial semantics retirement order promises.
+func (b *Block) validate() {
+	m := b.m
+	s := m.unexpected
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	hzn := m.postHorizon.Load()
+
+	if b.headAtStart {
+		for tid := 0; tid < b.n; tid++ {
+			res := &b.results[tid]
+			if !res.Unexpected {
+				continue // committed at Match time
+			}
+			// Posts that raced this block may have published a matching
+			// receive the thread's bounded search could not see.
+			if hzn != b.horizon {
+				b.tstats[tid].revalidated++
+				if nd := b.research(tid, res.Env, hzn); nd != nil {
+					b.tstats[tid].unexpected--
+					b.tstats[tid].matched++
+					b.final[tid] = nd
+					*res = Result{Env: res.Env, Recv: nd.recv, Path: PathSlow}
+					continue
+				}
+			}
+			b.publishUnexpected(res.Env)
+		}
+		return
+	}
+
+	// Re-derivation. Pass 1: release the holds this block still owns (a
+	// concurrent higher-sequence block may re-consume one, but such a hold is
+	// stealable and pass 2 takes it back).
+	for tid := 0; tid < b.n; tid++ {
+		if d := b.final[tid]; d != nil && d.ownedBy(b.seq, tid) {
+			d.markPosted()
+		}
+	}
+	// Pass 2: reassign in thread order.
+	for tid := 0; tid < b.n; tid++ {
+		res := &b.results[tid]
+		old := b.final[tid]
+		nd := b.research(tid, res.Env, hzn)
+		if nd != old {
+			b.tstats[tid].revalidated++
+		}
+		b.final[tid] = nd
+		switch {
+		case nd != nil && !res.Unexpected:
+			if nd != old {
+				res.Recv = nd.recv
+				res.Path = PathSlow
+			}
+		case nd != nil: // unexpected verdict overturned
+			b.tstats[tid].unexpected--
+			b.tstats[tid].matched++
+			*res = Result{Env: res.Env, Recv: nd.recv, Path: PathSlow}
+		case !res.Unexpected: // robbed, with nothing left to take
+			b.tstats[tid].matched--
+			b.tstats[tid].unexpected++
+			*res = Result{Env: res.Env, Unexpected: true, Path: PathSlow}
+			b.publishUnexpected(res.Env)
+		default:
+			b.publishUnexpected(res.Env)
+		}
+	}
+}
+
+// publishUnexpected runs the engine hook and stores the message. Caller
+// holds the store lock.
+func (b *Block) publishUnexpected(env *match.Envelope) {
+	if h := b.m.onUnexpected; h != nil {
+		h(env)
+	}
+	b.m.unexpected.insertLocked(env)
+}
+
+// research redoes thread tid's search at retirement with horizon hzn. The
+// block is the oldest in flight, so every candidate it finds is either
+// posted or held by a higher-sequence block (stealable); the consume loop
+// terminates because steals strictly lower the owning sequence.
+func (b *Block) research(tid int, env *match.Envelope, hzn uint64) *descriptor {
+	st := &b.tstats[tid]
+	for {
+		d := b.m.searchOldest(env, tid, b.seq, hzn, false, st)
+		if d == nil {
+			return nil
+		}
+		if d.consume(b.seq, tid) {
+			return d
+		}
+	}
+}
+
+// searchOldest performs the §III-C cross-index search on behalf of thread
+// tid of block seq: each index yields its oldest matching available receive
+// below watermark hzn, and the global minimum posting label wins
+// (constraint C1 across indexes). Hash values are taken from the
+// sender-computed header when UseInlineHashes is set.
+func (m *OptimisticMatcher) searchOldest(env *match.Envelope, tid int, seq uint64, hzn uint64, earlyCheck bool, st *threadStats) *descriptor {
 	var h match.InlineHashes
 	if m.cfg.UseInlineHashes {
 		if env.Inline != nil {
@@ -494,15 +746,15 @@ func (m *OptimisticMatcher) searchOldest(env *match.Envelope, tid int, epoch uin
 	// no_any_source communicator can never have a receive in the source-
 	// wildcard index, so its messages skip that search.
 	hints := m.hints.get(env.Comm)
-	consider(m.idxFull.search(env, h.SrcTag, tid, epoch, earlyCheck))
+	consider(m.idxFull.search(env, h.SrcTag, tid, seq, hzn, earlyCheck))
 	if !hints.NoAnySource {
-		consider(m.idxSrcWild.search(env, h.Tag, tid, epoch, earlyCheck))
+		consider(m.idxSrcWild.search(env, h.Tag, tid, seq, hzn, earlyCheck))
 	}
 	if !hints.NoAnyTag {
-		consider(m.idxTagWild.search(env, h.Src, tid, epoch, earlyCheck))
+		consider(m.idxTagWild.search(env, h.Src, tid, seq, hzn, earlyCheck))
 	}
 	if !hints.NoWildcards() {
-		consider(m.idxBoth.search(env, 0, tid, epoch, earlyCheck))
+		consider(m.idxBoth.search(env, 0, tid, seq, hzn, earlyCheck))
 	}
 
 	if st != nil {
@@ -522,12 +774,13 @@ func lowestBit(v uint32) int {
 	return bits.TrailingZeros32(v)
 }
 
-// ArriveBlock matches a batch of messages, processing them in parallel
-// chunks of at most BlockSize, and returns one Result per message in input
-// order. Envelopes without a sequence number are assigned one in input
-// order, which is taken as arrival order.
+// ArriveBlock matches a batch of messages, processing them in sequential
+// parallel chunks of at most BlockSize, and returns one Result per message
+// in input order. Envelopes without a sequence number are assigned one in
+// input order, which is taken as arrival order.
 func (m *OptimisticMatcher) ArriveBlock(envs []*match.Envelope) []Result {
-	out := make([]Result, 0, len(envs))
+	out := make([]Result, len(envs))
+	rest := out
 	for len(envs) > 0 {
 		n := len(envs)
 		if n > m.cfg.BlockSize {
@@ -535,6 +788,8 @@ func (m *OptimisticMatcher) ArriveBlock(envs []*match.Envelope) []Result {
 		}
 		chunk := envs[:n]
 		envs = envs[n:]
+		res := rest[:n]
+		rest = rest[n:]
 
 		b := m.BeginBlock(n)
 		var wg sync.WaitGroup
@@ -546,16 +801,57 @@ func (m *OptimisticMatcher) ArriveBlock(envs []*match.Envelope) []Result {
 			}(tid)
 		}
 		wg.Wait()
-		out = append(out, b.results[:n]...)
-		b.Finish()
+		b.FinishInto(res)
 	}
+	return out
+}
+
+// ArrivePipelined matches a batch of messages with up to
+// Config.InFlightBlocks blocks in flight concurrently, returning one Result
+// per message in input order. Blocks begin in arrival order (BeginBlock
+// applies backpressure when the ring is full) and retire in order, so the
+// results are the settled, validated outcomes. At depth 1 it degenerates to
+// ArriveBlock.
+func (m *OptimisticMatcher) ArrivePipelined(envs []*match.Envelope) []Result {
+	out := make([]Result, len(envs))
+	var wg sync.WaitGroup
+	rest := out
+	remaining := envs
+	for len(remaining) > 0 {
+		n := len(remaining)
+		if n > m.cfg.BlockSize {
+			n = m.cfg.BlockSize
+		}
+		chunk := remaining[:n]
+		remaining = remaining[n:]
+		res := rest[:n]
+		rest = rest[n:]
+
+		b := m.BeginBlock(n) // arrival order; blocks when the ring is full
+		wg.Add(1)
+		go func(b *Block, chunk []*match.Envelope, res []Result) {
+			defer wg.Done()
+			var mwg sync.WaitGroup
+			mwg.Add(len(chunk))
+			for tid := range chunk {
+				go func(tid int) {
+					defer mwg.Done()
+					b.Match(tid, chunk[tid])
+				}(tid)
+			}
+			mwg.Wait()
+			b.FinishInto(res)
+		}(b, chunk, res)
+	}
+	wg.Wait()
 	return out
 }
 
 // Arrive matches a single message (a one-message block).
 func (m *OptimisticMatcher) Arrive(env *match.Envelope) Result {
+	var out [1]Result
 	b := m.BeginBlock(1)
-	r := b.Match(0, env)
-	b.Finish()
-	return r
+	b.Match(0, env)
+	b.FinishInto(out[:])
+	return out[0]
 }

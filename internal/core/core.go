@@ -22,6 +22,19 @@
 // path, where thread i waits for thread i−1 to finalize and then redoes the
 // search (§III-D3b).
 //
+// Up to Config.InFlightBlocks arrival blocks run CONCURRENTLY, and posts
+// proceed in parallel with them (DESIGN.md §9). Blocks carry monotone
+// sequence numbers and retire in order; a block's provisional matches are
+// validated at retirement, when every lower-sequence block has committed,
+// which is what preserves the C1/C2 ordering constraints. Cross-block
+// conflicts resolve through a steal protocol on the descriptor's packed
+// ownership word: a lower-sequence block takes a receive back from a
+// higher-sequence block that provisionally consumed it, and the victim
+// redoes its search when it revalidates. Posts serialize only against each
+// other (on the unexpected store's lock) and publish new receives with an
+// ordered label watermark, so arrival blocks and PostRecv never exclude one
+// another.
+//
 // Unexpected messages are stored in a mirror set of indexes, with each
 // message indexed in all four structures so that a newly posted receive
 // needs to search only the one index matching its wildcard class (§IV-C).
@@ -43,6 +56,12 @@ import (
 // MaxBlockSize is the largest supported matching block (the paper's
 // prototype uses 32 threads, "limited by the bookkeeping bitmap size").
 const MaxBlockSize = 32
+
+// MaxInFlightBlocks is the largest supported in-flight block window, fixed
+// by the per-descriptor booking array (one epoch-tagged bitmap word per
+// block ring slot). 8 blocks × 32 threads matches the BF3 DPA's 256
+// hardware threads.
+const MaxInFlightBlocks = 8
 
 // Model byte costs from §IV-E, used for DPA memory budgeting.
 const (
@@ -72,6 +91,13 @@ type Config struct {
 	// BlockSize is N, the number of messages matched in parallel
 	// (1..MaxBlockSize).
 	BlockSize int
+	// InFlightBlocks is K, the number of arrival blocks that may be in
+	// flight concurrently (1..MaxInFlightBlocks; 0 normalizes to 1).
+	// K = 1, the default, serializes blocks exactly as the original engine
+	// did. Higher depths overlap block k+1's matching with block k's;
+	// cross-block conflicts are resolved by the ownership steal protocol and
+	// in-order retirement (DESIGN.md §9).
+	InFlightBlocks int
 
 	// EarlyBookingCheck enables the §IV-D optimization that skips, during
 	// the optimistic search, receives already booked by a lower thread.
@@ -104,12 +130,13 @@ type Config struct {
 
 // DefaultConfig mirrors the paper's prototype configuration (§VI): hash
 // tables sized at twice the maximum number of in-flight receives, 1024
-// in-flight receives, 32 threads, all optimizations on.
+// in-flight receives, 32 threads, all optimizations on, one block in flight.
 func DefaultConfig() Config {
 	return Config{
 		Bins:              2048,
 		MaxReceives:       1024,
 		BlockSize:         32,
+		InFlightBlocks:    1,
 		EarlyBookingCheck: true,
 		LazyRemoval:       true,
 		UseInlineHashes:   true,
@@ -127,17 +154,38 @@ func (cfg *Config) validate() error {
 	if cfg.BlockSize < 1 || cfg.BlockSize > MaxBlockSize {
 		return fmt.Errorf("core: BlockSize must be in [1,%d], got %d", MaxBlockSize, cfg.BlockSize)
 	}
+	if cfg.InFlightBlocks == 0 {
+		cfg.InFlightBlocks = 1
+	}
+	if cfg.InFlightBlocks < 1 || cfg.InFlightBlocks > MaxInFlightBlocks {
+		return fmt.Errorf("core: InFlightBlocks must be in [1,%d], got %d", MaxInFlightBlocks, cfg.InFlightBlocks)
+	}
 	return nil
 }
 
-// OptimisticMatcher is the offloaded matching engine. Host-side operations
-// (PostRecv) and arrival blocks are mutually exclusive, mirroring the
-// run-to-completion handler model of the DPA; within a block up to
-// BlockSize threads match concurrently.
+// blockRing bounds and orders the in-flight arrival blocks. Block sequence
+// numbers are monotone from 1; at most len(slots) blocks run between the
+// assignment point (next) and the retire frontier (retired). Blocks recycle
+// ring slots, so a saturated pipeline allocates nothing per block.
+type blockRing struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	slots   []Block
+	next    uint64 // next block sequence to assign (starts at 1)
+	retired uint64 // highest retired block sequence; blocks retire in order
+
+	// Mirrors of next/retired for lock-free readers: the retire frontier
+	// gates early result commits and descriptor-slot reclamation.
+	nextAtomic    atomic.Uint64
+	retiredAtomic atomic.Uint64
+}
+
+// OptimisticMatcher is the offloaded matching engine. Arrival blocks (up to
+// Config.InFlightBlocks of them) and host-side posts all run concurrently;
+// within a block up to BlockSize threads match concurrently.
 type OptimisticMatcher struct {
 	cfg Config
-
-	mu sync.Mutex // serializes posts against arrival blocks
 
 	table *descriptorTable
 
@@ -149,30 +197,44 @@ type OptimisticMatcher struct {
 
 	unexpected *unexpectedStore
 
+	// Post-side sequencing state, guarded by unexpected.mu — the post
+	// serialization point (see unexpectedStore).
 	nextLabel uint64
 	nextSeqID uint64
-	nextSeq   uint64 // arrival sequence for envelopes lacking one
 	lastPost  postKey
 	havePost  bool
 
-	epoch uint32 // current block epoch, tags booking bitmaps
-	block Block  // recycled arrival block (one active at a time)
+	// postHorizon is the ordered-publish watermark: every receive with a
+	// label below it is fully indexed and visible. It advances under
+	// unexpected.mu after each post completes, and arrival blocks snapshot
+	// it at BeginBlock — a block never half-sees a post.
+	postHorizon atomic.Uint64
+
+	nextSeq uint64 // arrival sequence for envelopes lacking one (ring.mu)
+
+	ring  blockRing
 	hints hintTable
 
+	// onUnexpected, when set, runs exactly once per unexpected message,
+	// under the store lock, immediately before the message is published to
+	// the unexpected store — i.e. before any concurrent post can take it.
+	// The offload engine uses it to stabilize eager payloads out of the
+	// bounce buffer.
+	onUnexpected func(*match.Envelope)
+
 	// Statistics live in atomic counters so Stats()/DepthStats() snapshots
-	// never take the matcher lock — an arrival block holds that lock for
-	// its whole lifetime, and serializing monitoring reads behind it would
-	// stall both sides.
+	// never block behind an in-flight arrival block.
 	stats engineCounters
 	depth depthCounters
 }
 
 // engineCounters is EngineStats with atomic storage. Writers fold whole
-// blocks at Finish (one Add per field); readers assemble snapshots without
-// any lock.
+// blocks at retirement (one Add per field); readers assemble snapshots
+// without any lock.
 type engineCounters struct {
 	blocks, messages, optimistic, conflicts, fastPath, slowPath,
-	unexpected, relaxed, tableFull, lazySweeps, lazyReaped atomic.Uint64
+	unexpected, relaxed, tableFull, lazySweeps, lazyReaped,
+	revalidated atomic.Uint64
 }
 
 // depthCounters is match.Stats with atomic storage (same reader/writer
@@ -215,6 +277,11 @@ func New(cfg Config) (*OptimisticMatcher, error) {
 		idxBoth:    newRecvIndex(1),
 		unexpected: newUnexpectedStore(cfg.Bins),
 	}
+	m.ring.slots = make([]Block, cfg.InFlightBlocks)
+	m.ring.next = 1
+	m.ring.nextAtomic.Store(1)
+	m.ring.cond = sync.NewCond(&m.ring.mu)
+	m.table.retired = &m.ring.retiredAtomic
 	return m, nil
 }
 
@@ -229,6 +296,13 @@ func MustNew(cfg Config) *OptimisticMatcher {
 
 // Config returns the matcher's configuration.
 func (m *OptimisticMatcher) Config() Config { return m.cfg }
+
+// SetUnexpectedHook installs a callback invoked exactly once per unexpected
+// message, under the store lock, right before the message becomes visible to
+// posts. Install it before any arrivals; a nil hook disables it.
+func (m *OptimisticMatcher) SetUnexpectedHook(fn func(*match.Envelope)) {
+	m.onUnexpected = fn
+}
 
 // indexFor returns the posted-receive index for a wildcard class.
 func (m *OptimisticMatcher) indexFor(c match.WildcardClass) *recvIndex {
@@ -262,13 +336,19 @@ func keyHashFor(c match.WildcardClass, src match.Rank, tag match.Tag, comm match
 // §IV-E). If a stored unexpected message matches, it is returned; otherwise
 // the receive is indexed. ErrTableFull signals that the caller must fall
 // back to software matching.
+//
+// Posts serialize against each other on the store lock but run concurrently
+// with arrival blocks: the descriptor is fully linked before the label
+// watermark advances past it, and blocks only look below their watermark
+// snapshot, so a block either sees the whole post or none of it.
 func (m *OptimisticMatcher) PostRecv(r *match.Recv) (*match.Envelope, bool, error) {
 	if err := m.checkHints(r); err != nil {
 		return nil, false, err
 	}
 
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	s := m.unexpected
+	s.mu.Lock()
+	defer s.mu.Unlock()
 
 	r.Label = m.nextLabel
 	m.nextLabel++
@@ -282,18 +362,21 @@ func (m *OptimisticMatcher) PostRecv(r *match.Recv) (*match.Envelope, bool, erro
 	// Check the unexpected store first (§IV-C): only the index matching the
 	// receive's wildcard class needs searching, because every unexpected
 	// message is indexed in all four structures.
-	env, depth := m.unexpected.takeMatch(r)
+	env, depth := s.takeMatchLocked(r)
 	m.depth.postSearches.Add(1)
 	m.depth.postTraversed.Add(depth)
 	storeMax(&m.depth.postMax, depth)
 	if env != nil {
 		m.depth.matched.Add(1)
+		m.postHorizon.Store(r.Label + 1)
 		return env, true, nil
 	}
 
 	d := m.table.alloc()
 	if d == nil {
 		m.stats.tableFull.Add(1)
+		// The label is spent even on failure, so the watermark still moves.
+		m.postHorizon.Store(r.Label + 1)
 		return nil, false, ErrTableFull
 	}
 	d.recv = r
@@ -301,41 +384,45 @@ func (m *OptimisticMatcher) PostRecv(r *match.Recv) (*match.Envelope, bool, erro
 	d.class = r.Class()
 	d.label = r.Label
 	d.seqID = m.nextSeqID
-	d.booking.Store(0)
-	d.consumeEpoch.Store(0)
+	for i := range d.booking {
+		d.booking[i].Store(0)
+	}
+	d.markPosted()
 
 	idx := m.indexFor(d.class)
 	idx.insert(d, keyHashFor(d.class, r.Source, r.Tag, r.Comm), m.cfg.LazyRemoval)
 	m.depth.queued.Add(1)
+	// Ordered publish: advance the watermark only after the descriptor is
+	// fully linked. The store is still locked, so watermark advances are
+	// monotone.
+	m.postHorizon.Store(r.Label + 1)
 	return nil, false, nil
 }
 
 // PeekUnexpected reports whether a stored unexpected message matches r,
 // without consuming it — the engine-side primitive behind MPI_Probe and
-// MPI_Iprobe.
+// MPI_Iprobe. The store is self-locking; arrival blocks are not excluded.
 func (m *OptimisticMatcher) PeekUnexpected(r *match.Recv) (*match.Envelope, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	return m.unexpected.peek(r)
 }
 
 // PostedDepth returns the number of live posted receives. It reads an
-// atomic counter — no matcher lock — so a snapshot taken while an arrival
-// block is in flight reflects some instant within that block.
+// atomic counter — no lock — so a snapshot taken while an arrival block is
+// in flight reflects some instant within that block.
 func (m *OptimisticMatcher) PostedDepth() int {
 	return int(m.table.liveCount.Load())
 }
 
 // UnexpectedDepth returns the number of stored unexpected messages. The
-// store is self-locking; the matcher lock is not taken.
+// store is self-locking.
 func (m *OptimisticMatcher) UnexpectedDepth() int {
 	return m.unexpected.len()
 }
 
 // DepthStats returns cumulative search-depth statistics comparable with the
 // baselines' match.Stats. The snapshot is assembled from atomic counters
-// without taking the matcher lock; individual fields are each coherent but
-// the snapshot as a whole may interleave with a concurrent block.
+// without taking any lock; individual fields are each coherent but the
+// snapshot as a whole may interleave with a concurrent block.
 func (m *OptimisticMatcher) DepthStats() match.Stats {
 	return match.Stats{
 		PostSearches:    m.depth.postSearches.Load(),
@@ -363,34 +450,36 @@ func (m *OptimisticMatcher) ResetDepthStats() {
 
 // EngineStats counts engine-internal events for benchmarks and ablations.
 type EngineStats struct {
-	Blocks     uint64 // arrival blocks processed
-	Messages   uint64 // messages processed
-	Optimistic uint64 // messages finalized without conflict
-	Conflicts  uint64 // messages that lost their booking
-	FastPath   uint64 // conflicts resolved via the fast path
-	SlowPath   uint64 // conflicts resolved via the slow path
-	Unexpected uint64 // messages stored as unexpected
-	Relaxed    uint64 // messages matched under allow_overtaking hints
-	TableFull  uint64 // posts rejected with ErrTableFull
-	LazySweeps uint64 // lazy-removal chain sweeps
-	LazyReaped uint64 // consumed entries unlinked by sweeps
+	Blocks      uint64 // arrival blocks processed
+	Messages    uint64 // messages processed
+	Optimistic  uint64 // messages finalized without conflict
+	Conflicts   uint64 // messages that lost their booking
+	FastPath    uint64 // conflicts resolved via the fast path
+	SlowPath    uint64 // conflicts resolved via the slow path
+	Unexpected  uint64 // messages stored as unexpected
+	Relaxed     uint64 // messages matched under allow_overtaking hints
+	TableFull   uint64 // posts rejected with ErrTableFull
+	LazySweeps  uint64 // lazy-removal chain sweeps
+	LazyReaped  uint64 // consumed entries unlinked by sweeps
+	Revalidated uint64 // retirement-time redos (cross-block steals, raced posts)
 }
 
 // Stats returns a snapshot of the engine statistics, assembled from atomic
-// counters without taking the matcher lock.
+// counters without taking any lock.
 func (m *OptimisticMatcher) Stats() EngineStats {
 	return EngineStats{
-		Blocks:     m.stats.blocks.Load(),
-		Messages:   m.stats.messages.Load(),
-		Optimistic: m.stats.optimistic.Load(),
-		Conflicts:  m.stats.conflicts.Load(),
-		FastPath:   m.stats.fastPath.Load(),
-		SlowPath:   m.stats.slowPath.Load(),
-		Unexpected: m.stats.unexpected.Load(),
-		Relaxed:    m.stats.relaxed.Load(),
-		TableFull:  m.stats.tableFull.Load(),
-		LazySweeps: m.stats.lazySweeps.Load(),
-		LazyReaped: m.stats.lazyReaped.Load(),
+		Blocks:      m.stats.blocks.Load(),
+		Messages:    m.stats.messages.Load(),
+		Optimistic:  m.stats.optimistic.Load(),
+		Conflicts:   m.stats.conflicts.Load(),
+		FastPath:    m.stats.fastPath.Load(),
+		SlowPath:    m.stats.slowPath.Load(),
+		Unexpected:  m.stats.unexpected.Load(),
+		Relaxed:     m.stats.relaxed.Load(),
+		TableFull:   m.stats.tableFull.Load(),
+		LazySweeps:  m.stats.lazySweeps.Load(),
+		LazyReaped:  m.stats.lazyReaped.Load(),
+		Revalidated: m.stats.revalidated.Load(),
 	}
 }
 
@@ -400,7 +489,7 @@ func (m *OptimisticMatcher) ResetStats() {
 		&m.stats.blocks, &m.stats.messages, &m.stats.optimistic,
 		&m.stats.conflicts, &m.stats.fastPath, &m.stats.slowPath,
 		&m.stats.unexpected, &m.stats.relaxed, &m.stats.tableFull,
-		&m.stats.lazySweeps, &m.stats.lazyReaped,
+		&m.stats.lazySweeps, &m.stats.lazyReaped, &m.stats.revalidated,
 	} {
 		c.Store(0)
 	}
@@ -417,10 +506,10 @@ func (f Footprint) Total() int { return f.BinBytes + f.DescriptorBytes }
 
 // Occupancy reports, across the three binned posted-receive indexes, the
 // number of empty bins, the total bins, and the longest chain — the §V-A
-// "percentage of empty bins per hash table" statistic.
+// "percentage of empty bins per hash table" statistic. Bucket counters are
+// atomic, so the snapshot never blocks (or is blocked by) an in-flight
+// arrival block.
 func (m *OptimisticMatcher) Occupancy() (empty, total, maxChain int) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	for _, ix := range []*recvIndex{m.idxFull, m.idxSrcWild, m.idxTagWild} {
 		e, mx := ix.occupancy()
 		empty += e

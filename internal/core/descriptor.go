@@ -1,31 +1,54 @@
 package core
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/match"
 )
 
-// Descriptor states. Transitions: free → posted (PostRecv), posted →
-// consumed (a matching thread's CAS — the authoritative claim), consumed →
-// free (unlink + release at block finish).
+// Descriptor states, stored in the low bits of the packed ownership word.
+// Transitions: free → posted (PostRecv), posted → consumed (a matching
+// thread's CAS — the authoritative claim), consumed → consumed with a LOWER
+// block sequence (an earlier in-flight block steals the receive, see
+// consume), consumed → free (unlink + release at block retirement).
 const (
-	stateFree uint32 = iota
+	stateFree uint64 = iota
 	statePosted
 	stateConsumed
 )
 
+// Ownership-word layout: state in bits [1:0], consuming thread ID in bits
+// [7:2] (MaxBlockSize = 32 fits in 6 bits), consuming block sequence in the
+// remaining 56 bits. Packing all three into one word makes claim, steal, and
+// ownership re-check single atomic operations.
+const (
+	ownStateBits = 2
+	ownTidBits   = 6
+	ownSeqShift  = ownStateBits + ownTidBits
+	ownStateMask = 1<<ownStateBits - 1
+	ownTidMask   = 1<<ownTidBits - 1
+)
+
+func packConsumed(seq uint64, tid int) uint64 {
+	return seq<<ownSeqShift | uint64(tid)<<ownStateBits | stateConsumed
+}
+
+func ownState(w uint64) uint64 { return w & ownStateMask }
+func ownSeq(w uint64) uint64   { return w >> ownSeqShift }
+
 // descriptor is a receive descriptor slot (§III-B: "receive descriptors are
-// stored in a fixed-size table"). The booking word packs the current block
-// epoch in the high 32 bits and the N-bit booking bitmap in the low 32, so
-// bitmaps left over from finished blocks are invalidated without a clearing
-// sweep.
+// stored in a fixed-size table"). Each booking word packs a block epoch in
+// the high 32 bits and the N-bit booking bitmap in the low 32, so bitmaps
+// left over from finished blocks are invalidated without a clearing sweep;
+// with several blocks in flight each ring slot gets its own booking word
+// (slot = epoch mod MaxInFlightBlocks), so concurrent blocks never clobber
+// each other's bookings.
 //
 // Chain links: next is atomic because matching threads traverse chains
 // while an eager-removal peer may unlink entries; unlink never clears next,
 // so a traverser standing on an unlinked entry falls through into the rest
-// of the chain. prev is only touched under the bucket's remove lock or the
-// matcher lock.
+// of the chain. prev is only touched under the bucket's remove lock.
 type descriptor struct {
 	recv  *match.Recv
 	src   match.Rank
@@ -35,14 +58,11 @@ type descriptor struct {
 	label uint64 // posting-order label (constraint C1 across indexes)
 	seqID uint64 // compatible-sequence ID (§III-D3a fast path)
 
-	state   atomic.Uint32
-	booking atomic.Uint64 // epoch<<32 | bitmap
+	// word is the packed ownership word: state | consuming tid | consuming
+	// block sequence.
+	word atomic.Uint64
 
-	// consumeEpoch records the block epoch at which the descriptor was
-	// consumed; the fast-path walk uses it to distinguish entries consumed
-	// in earlier blocks (skip silently) from entries consumed by peer
-	// threads of the current block (count as taken positions).
-	consumeEpoch atomic.Uint32
+	booking [MaxInFlightBlocks]atomic.Uint64 // per ring slot: epoch<<32 | bitmap
 
 	next     atomic.Pointer[descriptor]
 	prev     *descriptor
@@ -51,9 +71,10 @@ type descriptor struct {
 	unlinked bool     // set once removed from its chain
 }
 
-// bookingBits returns the bitmap if the word's epoch matches cur, else 0.
+// bookingBits returns the bitmap for epoch cur if that epoch's ring slot
+// still carries it, else 0.
 func (d *descriptor) bookingBits(cur uint32) uint32 {
-	w := d.booking.Load()
+	w := d.booking[cur%MaxInFlightBlocks].Load()
 	if uint32(w>>32) != cur {
 		return 0
 	}
@@ -62,31 +83,75 @@ func (d *descriptor) bookingBits(cur uint32) uint32 {
 
 // book sets bit tid in the booking bitmap for epoch cur.
 func (d *descriptor) book(cur uint32, tid int) {
+	word := &d.booking[cur%MaxInFlightBlocks]
 	for {
-		w := d.booking.Load()
+		w := word.Load()
 		var bits uint32
 		if uint32(w>>32) == cur {
 			bits = uint32(w)
 		}
 		nw := uint64(cur)<<32 | uint64(bits|1<<uint(tid))
-		if d.booking.CompareAndSwap(w, nw) {
+		if word.CompareAndSwap(w, nw) {
 			return
 		}
 	}
 }
 
-// consume attempts the authoritative posted→consumed transition, recording
-// the consuming epoch. It reports whether this caller won the descriptor.
-func (d *descriptor) consume(epoch uint32) bool {
-	if d.state.CompareAndSwap(statePosted, stateConsumed) {
-		d.consumeEpoch.Store(epoch)
+// consume claims d for thread tid of block seq. A posted descriptor is taken
+// outright. A descriptor provisionally consumed by a HIGHER-sequence block
+// is stolen: the lower block serializes first, so its claim has precedence,
+// and the higher block discovers the theft when it revalidates at
+// retirement. A descriptor held at or below seq is permanently gone from
+// this block's point of view. Steals only ever lower the owning sequence, so
+// chains of steals terminate.
+func (d *descriptor) consume(seq uint64, tid int) bool {
+	for {
+		w := d.word.Load()
+		switch ownState(w) {
+		case statePosted:
+			if d.word.CompareAndSwap(w, packConsumed(seq, tid)) {
+				return true
+			}
+		case stateConsumed:
+			if ownSeq(w) <= seq {
+				return false
+			}
+			if d.word.CompareAndSwap(w, packConsumed(seq, tid)) {
+				return true
+			}
+		default:
+			return false // free: mid-recycle, never a candidate
+		}
+	}
+}
+
+// takenFrom reports whether d is unavailable to a searcher in block seq:
+// consumed at or below seq (a peer or an earlier block owns it for good).
+// Descriptors consumed by higher-sequence blocks remain available — they are
+// stealable.
+func (d *descriptor) takenFrom(seq uint64) bool {
+	w := d.word.Load()
+	switch ownState(w) {
+	case statePosted:
+		return false
+	case stateConsumed:
+		return ownSeq(w) <= seq
+	default:
 		return true
 	}
-	return false
+}
+
+// ownedBy reports whether d is currently consumed by exactly (seq, tid) —
+// the retirement-time revalidation check.
+func (d *descriptor) ownedBy(seq uint64, tid int) bool {
+	return d.word.Load() == packConsumed(seq, tid)
 }
 
 // isConsumed reports whether the descriptor has been consumed.
-func (d *descriptor) isConsumed() bool { return d.state.Load() == stateConsumed }
+func (d *descriptor) isConsumed() bool { return ownState(d.word.Load()) == stateConsumed }
+
+// markPosted publishes the descriptor as available (PostRecv and tests).
+func (d *descriptor) markPosted() { d.word.Store(statePosted) }
 
 // matches reports whether the descriptor's receive matches e.
 func (d *descriptor) matches(e *match.Envelope) bool {
@@ -102,25 +167,50 @@ func (d *descriptor) matches(e *match.Envelope) bool {
 	return true
 }
 
+// reclaim is one released descriptor waiting out its grace period: the slot
+// may be reused once every block with sequence <= seq has retired, because
+// only such blocks can still be traversing a chain the descriptor was
+// unlinked from.
+type reclaim struct {
+	slot int32
+	seq  uint64
+}
+
 // descriptorTable is the fixed-size descriptor pool (§IV-E: 64 bytes per
-// descriptor in the DPA memory model). Allocation and release run under the
-// matcher lock.
+// descriptor in the DPA memory model). It is self-locking: posts allocate
+// while arrival blocks run. Release is epoch-based: a retiring block pushes
+// its consumed descriptors onto a deferred FIFO tagged with the current
+// block-sequence watermark, and alloc recycles entries only after the retire
+// frontier has passed their tag, so no in-flight block can ever stand on a
+// reused slot.
 type descriptorTable struct {
+	mu    sync.Mutex
 	slots []descriptor
 	free  []int32
 	used  int
 
+	// deferred is a circular FIFO of released slots awaiting their grace
+	// period; tags are monotone because blocks retire in sequence order.
+	deferred []reclaim
+	defHead  int
+	defLen   int
+
+	// retired points at the matcher's retire frontier; nil (unit tests)
+	// means release immediately.
+	retired *atomic.Uint64
+
 	// liveCount tracks allocated descriptors atomically so PostedDepth
-	// snapshots do not need the matcher lock. Between a thread's consume
-	// and the block's Finish a consumed descriptor still counts — the
-	// counter reflects an instant, not a linearized depth.
+	// snapshots do not need any lock. Between a thread's consume and the
+	// block's retirement a consumed descriptor still counts — the counter
+	// reflects an instant, not a linearized depth.
 	liveCount atomic.Int64
 }
 
 func newDescriptorTable(n int) *descriptorTable {
 	t := &descriptorTable{
-		slots: make([]descriptor, n),
-		free:  make([]int32, 0, n),
+		slots:    make([]descriptor, n),
+		free:     make([]int32, 0, n),
+		deferred: make([]reclaim, n),
 	}
 	for i := n - 1; i >= 0; i-- {
 		t.slots[i].slot = int32(i)
@@ -130,15 +220,20 @@ func newDescriptorTable(n int) *descriptorTable {
 }
 
 // alloc takes a free descriptor, or returns nil when the table is full
-// (the ErrTableFull condition).
+// (the ErrTableFull condition). Deferred releases whose grace period has
+// expired are recycled first.
 func (t *descriptorTable) alloc() *descriptor {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if len(t.free) == 0 {
-		return nil
+		t.drainLocked()
+		if len(t.free) == 0 {
+			return nil
+		}
 	}
 	i := t.free[len(t.free)-1]
 	t.free = t.free[:len(t.free)-1]
 	d := &t.slots[i]
-	d.state.Store(statePosted)
 	d.next.Store(nil)
 	d.prev = nil
 	d.owner = nil
@@ -148,12 +243,36 @@ func (t *descriptorTable) alloc() *descriptor {
 	return d
 }
 
-// release returns a consumed, unlinked descriptor to the free pool.
-func (t *descriptorTable) release(d *descriptor) {
-	d.state.Store(stateFree)
-	d.recv = nil
-	t.free = append(t.free, d.slot)
+// drainLocked moves reclaimable deferred entries to the free list.
+func (t *descriptorTable) drainLocked() {
+	frontier := ^uint64(0)
+	if t.retired != nil {
+		frontier = t.retired.Load()
+	}
+	for t.defLen > 0 {
+		rec := t.deferred[t.defHead]
+		if rec.seq > frontier {
+			break
+		}
+		t.free = append(t.free, rec.slot)
+		t.defHead = (t.defHead + 1) % len(t.deferred)
+		t.defLen--
+	}
+}
+
+// release retires a consumed, unlinked descriptor; its slot becomes
+// allocatable once every block with sequence <= afterSeq has retired.
+// recv is deliberately NOT cleared: a higher in-flight block that was just
+// robbed of d may still read it for a provisional result (re-derived at its
+// own retirement), and the next allocation's field writes are ordered behind
+// that block's retirement by the reclaim gate.
+func (t *descriptorTable) release(d *descriptor, afterSeq uint64) {
+	d.word.Store(stateFree)
+	t.mu.Lock()
+	t.deferred[(t.defHead+t.defLen)%len(t.deferred)] = reclaim{slot: d.slot, seq: afterSeq}
+	t.defLen++
 	t.used--
+	t.mu.Unlock()
 	t.liveCount.Add(-1)
 }
 
@@ -164,7 +283,7 @@ func (t *descriptorTable) get(i int32) *descriptor { return &t.slots[i] }
 func (t *descriptorTable) live() int {
 	live := 0
 	for i := range t.slots {
-		if t.slots[i].state.Load() == statePosted {
+		if ownState(t.slots[i].word.Load()) == statePosted {
 			live++
 		}
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 
@@ -17,13 +18,22 @@ func TestBookingEpochInvalidation(t *testing.T) {
 	if got := d.bookingBits(2); got != 0 {
 		t.Fatalf("bookingBits(2) = %b, want 0", got)
 	}
-	// Booking in the new epoch replaces the stale word.
+	// Epochs within the in-flight window occupy distinct ring slots, so
+	// concurrent blocks never clobber each other's bookings.
 	d.book(2, 0)
 	if got := d.bookingBits(2); got != 1 {
-		t.Fatalf("bookingBits(2) after rebook = %b, want 1", got)
+		t.Fatalf("bookingBits(2) after book = %b, want 1", got)
+	}
+	if got := d.bookingBits(1); got != 1<<3 {
+		t.Fatalf("in-flight epoch's word must survive, got %b", got)
+	}
+	// An epoch that recycles the ring slot replaces the stale word.
+	d.book(1+MaxInFlightBlocks, 5)
+	if got := d.bookingBits(1 + MaxInFlightBlocks); got != 1<<5 {
+		t.Fatalf("bookingBits after slot reuse = %b, want %b", got, 1<<5)
 	}
 	if got := d.bookingBits(1); got != 0 {
-		t.Fatalf("old epoch must now read empty, got %b", got)
+		t.Fatalf("recycled slot's old epoch must read empty, got %b", got)
 	}
 }
 
@@ -58,18 +68,43 @@ func TestBookingProperty(t *testing.T) {
 
 func TestConsumeIsExclusive(t *testing.T) {
 	var d descriptor
-	d.state.Store(statePosted)
-	if !d.consume(4) {
+	d.markPosted()
+	if !d.consume(4, 0) {
 		t.Fatal("first consume must win")
 	}
-	if d.consume(4) {
-		t.Fatal("second consume must lose")
+	if d.consume(4, 1) {
+		t.Fatal("a same-block peer must lose")
 	}
 	if !d.isConsumed() {
 		t.Fatal("descriptor must be consumed")
 	}
-	if d.consumeEpoch.Load() != 4 {
-		t.Fatalf("consumeEpoch = %d, want 4", d.consumeEpoch.Load())
+	if !d.ownedBy(4, 0) {
+		t.Fatal("descriptor must be owned by (4, 0)")
+	}
+	if d.takenFrom(4) != true || d.takenFrom(3) != false {
+		t.Fatal("availability must be relative to the viewer's block sequence")
+	}
+}
+
+func TestConsumeStealOrder(t *testing.T) {
+	// Lower-sequence blocks steal from higher ones, never the reverse: the
+	// lower block serializes first, so its claim has precedence.
+	var d descriptor
+	d.markPosted()
+	if !d.consume(4, 2) {
+		t.Fatal("initial consume must win")
+	}
+	if d.consume(5, 0) {
+		t.Fatal("a higher-sequence block must not steal from a lower one")
+	}
+	if !d.consume(3, 1) {
+		t.Fatal("a lower-sequence block must steal from a higher one")
+	}
+	if !d.ownedBy(3, 1) {
+		t.Fatal("ownership must transfer to the stealing block")
+	}
+	if d.consume(4, 2) {
+		t.Fatal("the robbed block must not steal back")
 	}
 }
 
@@ -85,20 +120,49 @@ func TestDescriptorTableAllocRelease(t *testing.T) {
 	if tab.alloc() != nil {
 		t.Fatal("allocation beyond capacity must fail")
 	}
+	a.markPosted()
+	b.markPosted()
+	c.markPosted()
 	if tab.live() != 3 {
 		t.Fatalf("live = %d, want 3", tab.live())
 	}
-	b.consume(1)
+	b.consume(1, 0)
 	if tab.live() != 2 {
 		t.Fatalf("live after consume = %d, want 2", tab.live())
 	}
-	tab.release(b)
+	tab.release(b, 0)
 	d := tab.alloc()
 	if d == nil {
 		t.Fatal("released slot must be reusable")
 	}
 	if d.slot != b.slot {
 		t.Fatalf("reused slot %d, want %d", d.slot, b.slot)
+	}
+}
+
+func TestDescriptorTableDeferredReclaim(t *testing.T) {
+	// With a retire frontier wired in, a released slot stays unavailable
+	// until every block at or below its tag has retired.
+	tab := newDescriptorTable(1)
+	var retired atomic.Uint64
+	tab.retired = &retired
+	a := tab.alloc()
+	if a == nil {
+		t.Fatal("allocation within capacity failed")
+	}
+	a.markPosted()
+	a.consume(1, 0)
+	tab.release(a, 2) // blocks 1 and 2 may still stand on the chain
+	if tab.alloc() != nil {
+		t.Fatal("slot reused while blocks <= tag are still in flight")
+	}
+	retired.Store(1)
+	if tab.alloc() != nil {
+		t.Fatal("slot reused before the frontier passed its tag")
+	}
+	retired.Store(2)
+	if tab.alloc() == nil {
+		t.Fatal("slot must be reusable once the frontier reaches its tag")
 	}
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/match"
 )
@@ -36,25 +37,36 @@ func (h Hints) String() string {
 		h.NoAnySource, h.NoAnyTag, h.AllowOvertaking)
 }
 
-// hintTable stores per-communicator hints with cheap concurrent reads.
+// hintTable stores per-communicator hints. Hints are installed rarely
+// (communicator creation) and read on every matched message, so reads go
+// through a copy-on-write snapshot: get is one atomic pointer load plus a
+// map lookup, with no lock and no cache-line writes on the arrival path.
 type hintTable struct {
-	mu sync.RWMutex
-	m  map[match.CommID]Hints
+	mu sync.Mutex // serializes writers; readers use the snapshot only
+	p  atomic.Pointer[map[match.CommID]Hints]
 }
 
 func (t *hintTable) get(comm match.CommID) Hints {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.m[comm] // zero value: no assertions
+	m := t.p.Load()
+	if m == nil {
+		return Hints{} // zero value: no assertions
+	}
+	return (*m)[comm]
 }
 
 func (t *hintTable) set(comm match.CommID, h Hints) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if t.m == nil {
-		t.m = make(map[match.CommID]Hints)
+	var old map[match.CommID]Hints
+	if p := t.p.Load(); p != nil {
+		old = *p
 	}
-	t.m[comm] = h
+	next := make(map[match.CommID]Hints, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[comm] = h
+	t.p.Store(&next)
 }
 
 // ErrHintViolation is returned by PostRecv when a receive contradicts the

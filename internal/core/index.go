@@ -10,13 +10,15 @@ import (
 // rbucket is one bin of a posted-receive index: a remove lock plus head and
 // tail of a posting-ordered chain (§IV-E accounts it at 20 bytes: 4-byte
 // lock + two 8-byte pointers). The head pointer is atomic because matching
-// threads traverse the chain while an eager-removal peer may unlink the
-// head entry.
+// threads traverse the chain while a concurrent post appends or an
+// eager-removal peer unlinks entries; the remove lock serializes the
+// structural mutations (insert and unlink) per bucket, which is all the
+// mutual exclusion the arrival path needs — there is no global matcher lock.
 type rbucket struct {
 	mu   sync.Mutex
 	head atomic.Pointer[descriptor]
-	tail *descriptor // maintained under the matcher lock (inserts) only
-	n    int         // live entries; maintained at insert/unlink
+	tail *descriptor  // maintained under mu (inserts and unlinks)
+	n    atomic.Int32 // live entries; atomic so occupancy snapshots are lock-free
 }
 
 // recvIndex is one of the four §III-B posted-receive indexes: a hash table
@@ -33,14 +35,16 @@ func (ix *recvIndex) bucketFor(hash uint64) *rbucket {
 	return &ix.buckets[hash%uint64(len(ix.buckets))]
 }
 
-// insert appends d at the tail of its bucket chain. Chains are posting-
-// ordered because PostRecv runs under the matcher lock. The lazy parameter
-// is accepted for symmetry with unlink policies; insertion itself is
-// identical in both modes.
+// insert appends d at the tail of its bucket chain under the bucket's remove
+// lock (the tail races Finish-time unlink sweeps). Chains are posting-
+// ordered because PostRecv serializes posts. The lazy parameter is accepted
+// for symmetry with unlink policies; insertion itself is identical in both
+// modes.
 func (ix *recvIndex) insert(d *descriptor, hash uint64, lazy bool) {
 	_ = lazy
 	b := ix.bucketFor(hash)
 	d.owner = b
+	b.mu.Lock()
 	if b.tail == nil {
 		b.head.Store(d)
 	} else {
@@ -48,13 +52,13 @@ func (ix *recvIndex) insert(d *descriptor, hash uint64, lazy bool) {
 		b.tail.next.Store(d)
 	}
 	b.tail = d
-	b.n++
+	b.mu.Unlock()
+	b.n.Add(1)
 }
 
-// unlink removes d from its chain. The caller must hold either the bucket's
-// remove lock (eager removal inside a block) or the matcher lock (host-side
-// and block-finish sweeps). d.next is preserved so concurrent traversers
-// standing on d fall through to the remainder of the chain.
+// unlink removes d from its chain. The caller must hold the bucket's remove
+// lock. d.next is preserved so concurrent traversers standing on d fall
+// through to the remainder of the chain.
 func unlink(d *descriptor) {
 	b := d.owner
 	if b == nil || d.unlinked {
@@ -72,7 +76,7 @@ func unlink(d *descriptor) {
 		next.prev = d.prev
 	}
 	d.unlinked = true
-	b.n--
+	b.n.Add(-1)
 }
 
 // eagerUnlink removes d under its bucket's remove lock; this is the
@@ -87,16 +91,26 @@ func eagerUnlink(d *descriptor) {
 	b.mu.Unlock()
 }
 
-// search walks the chain for hash and returns the oldest posted descriptor
-// matching e, plus the number of entries examined. With earlyCheck enabled,
-// entries already booked in the current epoch by a lower-numbered thread
-// are skipped (§IV-D "early booking check"): the booking invariant
-// guarantees such entries will be consumed within this block.
-func (ix *recvIndex) search(e *match.Envelope, hash uint64, tid int, epoch uint32, earlyCheck bool) (*descriptor, uint64) {
+// search walks the chain for hash and returns the oldest available
+// descriptor matching e, plus the number of entries examined, on behalf of
+// thread tid of block seq. Availability is relative to the searching block:
+// posted entries and entries provisionally consumed by higher-sequence
+// blocks (stealable) are candidates; entries consumed at or below seq are
+// gone. Receives with labels at or past hzn were published after the block's
+// visibility snapshot and are skipped without counting — they belong to the
+// post-side future. With earlyCheck enabled, entries already booked in the
+// block's epoch by a lower-numbered thread are skipped (§IV-D "early booking
+// check"): the booking invariant guarantees such entries will be consumed
+// within this block.
+func (ix *recvIndex) search(e *match.Envelope, hash uint64, tid int, seq uint64, hzn uint64, earlyCheck bool) (*descriptor, uint64) {
 	var traversed uint64
 	lower := uint32(1)<<uint(tid) - 1
+	epoch := uint32(seq)
 	for d := ix.bucketFor(hash).head.Load(); d != nil; d = d.next.Load() {
-		if d.isConsumed() {
+		if d.label >= hzn {
+			continue // posted after this block began: not yet visible
+		}
+		if d.takenFrom(seq) {
 			traversed++
 			continue
 		}
@@ -117,9 +131,10 @@ func (ix *recvIndex) search(e *match.Envelope, hash uint64, tid int, epoch uint3
 }
 
 // occupancy reports the number of empty bins and the maximum chain length.
+// Counters are atomic, so the snapshot never blocks an in-flight block.
 func (ix *recvIndex) occupancy() (empty, maxChain int) {
 	for i := range ix.buckets {
-		n := ix.buckets[i].n
+		n := int(ix.buckets[i].n.Load())
 		if n == 0 {
 			empty++
 		}

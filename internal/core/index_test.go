@@ -9,7 +9,7 @@ import (
 // makePosted builds a posted descriptor for index tests.
 func makePosted(src match.Rank, tag match.Tag, label uint64) *descriptor {
 	d := &descriptor{src: src, tag: tag, comm: 0, label: label, slot: -1}
-	d.state.Store(statePosted)
+	d.markPosted()
 	return d
 }
 
@@ -21,7 +21,7 @@ func TestIndexInsertSearchOrder(t *testing.T) {
 	ix.insert(a, h, true)
 	ix.insert(b, h, true)
 	e := &match.Envelope{Source: 1, Tag: 2}
-	got, n := ix.search(e, h, 0, 1, false)
+	got, n := ix.search(e, h, 0, 1, ^uint64(0), false)
 	if got != a {
 		t.Fatalf("search returned label %d, want oldest (10)", got.label)
 	}
@@ -37,8 +37,8 @@ func TestIndexSearchSkipsConsumed(t *testing.T) {
 	b := makePosted(1, 2, 11)
 	ix.insert(a, h, true)
 	ix.insert(b, h, true)
-	a.consume(1)
-	got, n := ix.search(&match.Envelope{Source: 1, Tag: 2}, h, 0, 1, false)
+	a.consume(1, 0)
+	got, n := ix.search(&match.Envelope{Source: 1, Tag: 2}, h, 0, 1, ^uint64(0), false)
 	if got != b {
 		t.Fatal("consumed entry not skipped")
 	}
@@ -56,17 +56,17 @@ func TestIndexEarlyBookingCheckSkips(t *testing.T) {
 	ix.insert(b, h, true)
 	a.book(5, 0) // thread 0 booked a
 	// Thread 2 with early check must skip a (bit 0 < 2) and find b.
-	got, _ := ix.search(&match.Envelope{Source: 1, Tag: 2}, h, 2, 5, true)
+	got, _ := ix.search(&match.Envelope{Source: 1, Tag: 2}, h, 2, 5, ^uint64(0), true)
 	if got != b {
 		t.Fatal("early booking check did not skip lower-booked entry")
 	}
 	// Thread 0 itself must not skip its own booking.
-	got, _ = ix.search(&match.Envelope{Source: 1, Tag: 2}, h, 0, 5, true)
+	got, _ = ix.search(&match.Envelope{Source: 1, Tag: 2}, h, 0, 5, ^uint64(0), true)
 	if got != a {
 		t.Fatal("thread 0 skipped its own booked entry")
 	}
 	// A stale epoch booking must not cause a skip.
-	got, _ = ix.search(&match.Envelope{Source: 1, Tag: 2}, h, 2, 6, true)
+	got, _ = ix.search(&match.Envelope{Source: 1, Tag: 2}, h, 2, 6, ^uint64(0), true)
 	if got != a {
 		t.Fatal("stale-epoch booking caused a skip")
 	}

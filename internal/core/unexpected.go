@@ -13,6 +13,13 @@ import (
 // only the single index that corresponds to its wildcard class. All chains
 // are kept sorted by arrival sequence so the oldest matching message is
 // always found first (constraint C2).
+//
+// With blocks and posts running concurrently, s.mu doubles as the POST
+// SERIALIZATION POINT: PostRecv performs its store search, label assignment,
+// and descriptor publication under it, and a retiring block publishes its
+// unexpected messages (after revalidating them against fresh posts) under it
+// too. Either the post sees the message or the message's revalidation sees
+// the post — a lost wakeup is impossible.
 type unexpectedStore struct {
 	mu   sync.Mutex
 	bins int
@@ -107,11 +114,9 @@ func newUnexpectedStore(bins int) *unexpectedStore {
 	}
 }
 
-// insert stores e in all four structures. Safe for concurrent use.
-func (s *unexpectedStore) insert(env *match.Envelope) {
+// insertLocked stores e in all four structures. Caller holds s.mu.
+func (s *unexpectedStore) insertLocked(env *match.Envelope) {
 	e := &uentry{env: env}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 
 	c := &s.bySrcTag[match.HashSrcTag(env.Source, env.Tag, env.Comm)%uint64(s.bins)]
 	e.chain[linkSrcTag] = c
@@ -131,14 +136,11 @@ func (s *unexpectedStore) insert(env *match.Envelope) {
 	s.n++
 }
 
-// takeMatch searches the single structure matching r's wildcard class for
-// the oldest matching message; on a hit the message is unlinked from all
+// takeMatchLocked searches the single structure matching r's wildcard class
+// for the oldest matching message; on a hit the message is unlinked from all
 // four structures. It returns the envelope (nil for no match) and the
-// number of entries examined.
-func (s *unexpectedStore) takeMatch(r *match.Recv) (*match.Envelope, uint64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-
+// number of entries examined. Caller holds s.mu.
+func (s *unexpectedStore) takeMatchLocked(r *match.Recv) (*match.Envelope, uint64) {
 	var c *uchain
 	var li int
 	switch r.Class() {
@@ -165,6 +167,20 @@ func (s *unexpectedStore) takeMatch(r *match.Recv) (*match.Envelope, uint64) {
 		depth++
 	}
 	return nil, depth
+}
+
+// insert stores e in all four structures (self-locking convenience).
+func (s *unexpectedStore) insert(env *match.Envelope) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.insertLocked(env)
+}
+
+// takeMatch is the self-locking form of takeMatchLocked.
+func (s *unexpectedStore) takeMatch(r *match.Recv) (*match.Envelope, uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.takeMatchLocked(r)
 }
 
 // peek returns the oldest matching message without removing it.

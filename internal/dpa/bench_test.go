@@ -2,6 +2,7 @@ package dpa
 
 import (
 	"runtime"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/core"
@@ -67,4 +68,70 @@ func BenchmarkArrivalHotPath(b *testing.B) {
 	b.ResetTimer()
 	pump(b.N)
 	b.StopTimer()
+}
+
+// BenchmarkInFlightPipeline measures the same steady-state flood as the
+// in-flight window deepens: K runner goroutines keep K matching blocks
+// executing concurrently, with the matcher's retire frontier serializing
+// their effects. Depth 1 is the serial launcher of the original design.
+// Distinct (source,tag) keys keep the workload in the no-conflict regime
+// (Figure 8 "NC"), so the depths differ only in block-level overlap.
+func BenchmarkInFlightPipeline(b *testing.B) {
+	const blockN = 8
+	for _, depth := range []int{1, 2, 4, 8} {
+		b.Run(map[int]string{1: "depth=1", 2: "depth=2", 4: "depth=4", 8: "depth=8"}[depth], func(b *testing.B) {
+			acc := MustNew(Config{Threads: blockN * depth})
+			defer acc.Close()
+			matcher := core.MustNew(core.Config{
+				Bins: 2048, MaxReceives: 8192, BlockSize: blockN,
+				InFlightBlocks:    depth,
+				EarlyBookingCheck: true, LazyRemoval: true, UseInlineHashes: true,
+			})
+			cq := rdma.NewCQ()
+			p := NewPipeline(acc, matcher, cq)
+			var key atomic.Uint64 // arrival order is CQ order; keys rotate with it
+			p.Decode = func(c rdma.Completion, env *match.Envelope) *match.Envelope {
+				k := key.Add(1) - 1
+				env.Source = match.Rank(k % 64)
+				env.Tag = match.Tag(k / 64 % 64)
+				return env
+			}
+			p.Handle = func(tid int, res core.Result, c rdma.Completion) {}
+			p.Start()
+			defer p.Stop()
+
+			const window = 4096 // 64x64 key rotation: slot i%window reposts the same key
+			const lag = 512
+			recvs := make([]match.Recv, window)
+			comp := rdma.Completion{Op: rdma.OpRecv}
+
+			pushed := 0
+			pump := func(n int) {
+				for i := 0; i < n; i++ {
+					r := &recvs[pushed%window]
+					r.Source = match.Rank(uint64(pushed) % 64)
+					r.Tag = match.Tag(uint64(pushed) / 64 % 64)
+					if _, _, err := matcher.PostRecv(r); err != nil {
+						b.Fatal(err)
+					}
+					cq.Push(comp)
+					pushed++
+					if pushed%lag == 0 {
+						for p.Messages() < uint64(pushed-lag) {
+							runtime.Gosched()
+						}
+					}
+				}
+				for p.Messages() < uint64(pushed) {
+					runtime.Gosched()
+				}
+			}
+
+			pump(2 * window)
+			b.ReportAllocs()
+			b.ResetTimer()
+			pump(b.N)
+			b.StopTimer()
+		})
+	}
 }

@@ -17,10 +17,18 @@ import (
 // storage — all without host involvement.
 //
 // The datapath is engineered for the steady state: completions are drained
-// in batches (one CQ lock acquisition per block), block formation is
-// double-buffered (block k+1 is gathered and classified while block k's
-// handlers run), and envelopes come from a pool — a saturated pipeline
+// in batches (one CQ lock acquisition per block), block formation overlaps
+// block execution, and envelopes come from a pool — a saturated pipeline
 // allocates nothing per message.
+//
+// With Config.InFlightBlocks > 1 the pipeline keeps a depth-K window of
+// matching blocks in flight: block k+1's handlers run while block k's are
+// still matching, with the matcher's retire frontier settling results in
+// arrival order (DESIGN.md §9). Depth 1 reproduces the original serial
+// launcher exactly. The effective depth is clamped so that
+// depth × BlockSize never exceeds the accelerator's thread count —
+// otherwise activations of a newer block could occupy every worker while
+// parked at the partial barrier, starving the older block they wait on.
 type Pipeline struct {
 	acc     *Accelerator
 	matcher *core.OptimisticMatcher
@@ -32,8 +40,10 @@ type Pipeline struct {
 	Decode func(c rdma.Completion, env *match.Envelope) *match.Envelope
 	// Handle executes protocol handling for one match result on a DPA
 	// thread: eager copy to the user buffer, rendezvous RDMA read, or
-	// unexpected-message stabilization (copying the payload out of the
-	// bounce buffer before it is reposted).
+	// unexpected-message bookkeeping. For results that settle at Match time
+	// it runs on the handler's thread; for results deferred to block
+	// retirement (cross-block conflicts, unexpected messages) it runs on
+	// the retiring block's runner.
 	Handle func(tid int, res core.Result, c rdma.Completion)
 	// Classify, when set, reports whether a completion carries a message
 	// that needs matching. Completions classified false (protocol control
@@ -94,17 +104,20 @@ func (p *Pipeline) Blocks() uint64 { return p.blocks.Load() }
 // Messages returns the number of messages processed.
 func (p *Pipeline) Messages() uint64 { return p.messages.Load() }
 
-// window is one half of the double buffer: a scratch array the CQ batch is
-// drained into and the filtered match-bound subset. Both are allocated once
-// and recycled for the pipeline's lifetime.
+// window is one slot of the formation buffer: a scratch array the CQ batch
+// is drained into, the filtered match-bound subset, and the arrival block
+// begun for it. All windows are allocated once and recycled for the
+// pipeline's lifetime.
 type window struct {
 	scratch []rdma.Completion
 	comps   []rdma.Completion
+	blk     *core.Block
 }
 
 // blockRunner carries the per-block state of the handler activations. Its
-// step method is bound once (a single closure allocation per pipeline) so
-// dispatching a block allocates nothing.
+// step and deliver methods are bound once per runner goroutine (two closure
+// allocations per pipeline runner) so dispatching a block allocates
+// nothing.
 type blockRunner struct {
 	p     *Pipeline
 	comps []rdma.Completion
@@ -112,31 +125,52 @@ type blockRunner struct {
 }
 
 // step is one handler activation (§IV-B): decode into a pooled envelope,
-// match, run the protocol handler, recycle. Unexpected envelopes escape to
-// the matcher's store and are recycled by their eventual deliverer.
+// match, and — when the result is final at Match time — run the protocol
+// handler and recycle. Non-final results (cross-block conflicts, unexpected
+// messages) are handled by deliver when the block retires.
 func (r *blockRunner) step(tid int) {
 	c := r.comps[tid]
 	env := r.p.Envelopes.Get()
 	env = r.p.Decode(c, env)
-	res := r.blk.Match(tid, env)
-	r.p.Handle(tid, res, c)
+	res, final := r.blk.Match(tid, env)
+	if final {
+		r.p.Handle(tid, res, c)
+		if !res.Unexpected {
+			r.p.Envelopes.Put(env)
+		}
+	}
+}
+
+// deliver runs protocol handling for a result that settled at block
+// retirement. Unexpected envelopes escape to the matcher's store and are
+// recycled by their eventual deliverer.
+func (r *blockRunner) deliver(tid int, res core.Result) {
+	r.p.Handle(tid, res, r.comps[tid])
 	if !res.Unexpected {
-		r.p.Envelopes.Put(env)
+		r.p.Envelopes.Put(res.Env)
 	}
 }
 
 // run forms blocks: it drains the next batch of completions — blocking for
-// the first — classifies it, and hands match-bound completions to the
-// launcher goroutine, which runs the matching blocks in arrival order.
-// Two windows ping-pong between the two goroutines, so while the
-// accelerator executes block k's handlers the formation loop is already
-// gathering and classifying block k+1 (the stream-of-blocks model of
-// §III-A, pipelined).
+// the first — classifies it, begins the arrival block (in arrival order;
+// the matcher's ring applies backpressure when too many blocks are in
+// flight), and hands it to a runner goroutine. With K runners, K matching
+// blocks execute concurrently while the formation loop is already gathering
+// and classifying the next batch (the stream-of-blocks model of §III-A,
+// pipelined in depth as well as in formation).
 func (p *Pipeline) run() {
 	defer p.wg.Done()
-	blockSize := p.matcher.Config().BlockSize
+	cfg := p.matcher.Config()
+	blockSize := cfg.BlockSize
+	depth := cfg.InFlightBlocks
+	if m := p.acc.Threads() / blockSize; depth > m {
+		depth = m
+	}
+	if depth < 1 {
+		depth = 1
+	}
 
-	var windows [2]window
+	windows := make([]window, depth+1)
 	idle := make(chan *window, len(windows))
 	for i := range windows {
 		windows[i].scratch = make([]rdma.Completion, blockSize)
@@ -144,24 +178,33 @@ func (p *Pipeline) run() {
 		idle <- &windows[i]
 	}
 
-	jobs := make(chan *window)
+	jobs := make(chan *window, depth)
 	var lwg sync.WaitGroup
-	lwg.Add(1)
-	go func() { // launcher: executes matching blocks in arrival order
-		defer lwg.Done()
-		run := blockRunner{p: p}
-		step := run.step
-		for w := range jobs {
-			n := len(w.comps)
-			run.comps = w.comps
-			run.blk = p.matcher.BeginBlock(n)
-			p.acc.RunBlock(n, step)
-			run.blk.Finish()
-			p.blocks.Add(1)
-			p.messages.Add(uint64(n))
-			idle <- w
-		}
-	}()
+	lwg.Add(depth)
+	for i := 0; i < depth; i++ {
+		go func() { // runner: executes one matching block at a time
+			defer lwg.Done()
+			run := blockRunner{p: p}
+			step := run.step
+			deliver := run.deliver
+			for w := range jobs {
+				n := len(w.comps)
+				run.comps = w.comps
+				run.blk = w.blk
+				run.blk.Deliver = deliver
+				p.acc.RunBlock(n, step)
+				run.blk.Finish()
+				// Count messages only after retirement: by then every
+				// deferred Handle has run, so observers that see the count
+				// see the handling too.
+				p.blocks.Add(1)
+				p.messages.Add(uint64(n))
+				run.blk = nil
+				w.blk = nil
+				idle <- w
+			}
+		}()
+	}
 	defer func() {
 		close(jobs)
 		lwg.Wait()
@@ -176,8 +219,8 @@ func (p *Pipeline) run() {
 		gathered := w.scratch[:n]
 
 		// Control traffic (e.g. rendezvous ACKs) bypasses matching; it is
-		// handled here on the formation loop, overlapping the previous
-		// block's handlers. Error completions (transport faults such as
+		// handled here on the formation loop, overlapping in-flight blocks'
+		// handlers. Error completions (transport faults such as
 		// rdma.ErrBufferSize) never enter a matching block: they go to
 		// Control when one is installed and are discarded otherwise.
 		w.comps = w.comps[:0]
@@ -199,6 +242,10 @@ func (p *Pipeline) run() {
 		p.cq.Trim(p.cursor)
 
 		if len(w.comps) > 0 {
+			// Begin the block here, on the formation loop, so block
+			// sequence numbers follow arrival order regardless of which
+			// runner executes the block.
+			w.blk = p.matcher.BeginBlock(len(w.comps))
 			jobs <- w
 		} else {
 			idle <- w

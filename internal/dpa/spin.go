@@ -105,9 +105,11 @@ func (p *SPINPipeline) run() {
 		p.acc.RunBlock(n, func(tid int) {
 			env := p.Envelopes.Get()
 			env = p.Decode(comps[tid], env)
-			results[tid] = blk.Match(tid, env)
+			blk.Match(tid, env)
 		})
-		blk.Finish()
+		// FinishInto delivers the settled results: with blocks in flight a
+		// Match-time result may still be revised at retirement.
+		blk.FinishInto(results)
 
 		// Payload handlers: fan each message's MTU chunks over the HPUs.
 		// Chunks of all messages of the block interleave freely, as packets

@@ -159,6 +159,11 @@ func newOffloadEngine(p *Proc) (*offloadEngine, error) {
 		fallback:      match.NewListMatcher(),
 		fallbackComms: make(map[match.CommID]bool),
 	}
+	// Stabilize unexpected payloads inside the matcher, under the store
+	// lock, before the message becomes visible to posts: with posts running
+	// concurrently with arrival blocks, stabilizing any later would let a
+	// post deliver an envelope that still aliases the bounce buffer.
+	matcher.SetUnexpectedHook(p.stabilizeUnexpected)
 	// Apply communicator info objects: hints propagate to the engine;
 	// opted-out or unbudgetable communicators fall back to software.
 	for id, info := range p.w.opts.CommInfo {
@@ -231,12 +236,11 @@ func (e *offloadEngine) decode(c rdma.Completion, env *match.Envelope) *match.En
 
 // handle runs on a DPA thread after the optimistic match: protocol handling
 // per §IV-B, then bounce-buffer recycling. Matched envelopes are recycled
-// by the pipeline; unexpected ones live in the matcher's store until post()
-// delivers and recycles them.
+// by the pipeline; unexpected ones were already stabilized by the matcher's
+// unexpected hook (before becoming visible to posts) and live in the
+// matcher's store until post() delivers and recycles them.
 func (e *offloadEngine) handle(tid int, res core.Result, c rdma.Completion) {
-	if res.Unexpected {
-		e.p.stabilizeUnexpected(res.Env)
-	} else {
+	if !res.Unexpected {
 		e.p.deliverMatch(res.Recv, res.Env)
 		e.p.recycleRecv(res.Recv)
 	}
