@@ -12,6 +12,7 @@ import (
 	"runtime/pprof"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 	"repro/internal/rdma"
 )
 
@@ -41,6 +42,8 @@ func main() {
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		mutexprof  = flag.String("mutexprofile", "", "write a mutex contention profile to this file on exit")
 		blockprof  = flag.String("blockprofile", "", "write a goroutine blocking profile to this file on exit")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace_event JSON (chrome://tracing, Perfetto) to this file")
+		statsJSON  = flag.String("stats-json", "", "write observability counter/histogram snapshots as JSON to this file")
 	)
 	flag.Parse()
 
@@ -110,6 +113,12 @@ func main() {
 	}
 	fmt.Println()
 
+	var obsOpts obs.Options
+	if *traceOut != "" {
+		obsOpts = obsOpts.Tracing()
+	}
+
+	var sinks []obs.Named
 	for _, cfg := range bench.Figure8Scenarios() {
 		cfg.K = *k
 		cfg.Reps = *reps
@@ -117,6 +126,7 @@ func main() {
 		cfg.Threads = *threads
 		cfg.InFlight = *inflight
 		cfg.Faults = plan
+		cfg.Obs = obsOpts
 		res, err := bench.RunMsgRate(cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "msgrate: %s: %v\n", cfg.Label, err)
@@ -133,5 +143,21 @@ func main() {
 				"", "", res.Reliability.Retransmits, res.Reliability.DupDropped,
 				res.Reliability.OutOfOrder, res.Reliability.Sacks, res.Reliability.SendRNR)
 		}
+		sinks = append(sinks, res.Sinks...)
+	}
+
+	if *traceOut != "" {
+		if err := obs.WriteTraceFile(*traceOut, sinks); err != nil {
+			fmt.Fprintf(os.Stderr, "msgrate: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote Chrome trace to %s\n", *traceOut)
+	}
+	if *statsJSON != "" {
+		if err := obs.WriteJSONFile(*statsJSON, sinks); err != nil {
+			fmt.Fprintf(os.Stderr, "msgrate: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote observability snapshot to %s\n", *statsJSON)
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/rdma"
 	"repro/internal/replay"
 	"repro/internal/trace"
@@ -23,11 +24,13 @@ import (
 
 func main() {
 	var (
-		appName = flag.String("app", "AMG", "application name (Table II)")
-		dir     = flag.String("dir", "", "DUMPI trace directory (default: synthetic generator)")
-		engine  = flag.String("engine", "offload", "matching engine: offload | host | raw")
-		scale   = flag.Int("scale", 25, "synthetic generation scale percentage")
-		faults  = flag.String("faults", "", "deterministic fault plan, e.g. seed=1,drop=0.05,dup=0.02")
+		appName   = flag.String("app", "AMG", "application name (Table II)")
+		dir       = flag.String("dir", "", "DUMPI trace directory (default: synthetic generator)")
+		engine    = flag.String("engine", "offload", "matching engine: offload | host | raw")
+		scale     = flag.Int("scale", 25, "synthetic generation scale percentage")
+		faults    = flag.String("faults", "", "deterministic fault plan, e.g. seed=1,drop=0.05,dup=0.02")
+		traceOut  = flag.String("trace-out", "", "write a Chrome trace_event JSON (chrome://tracing, Perfetto) to this file")
+		statsJSON = flag.String("stats-json", "", "write observability counter/histogram snapshots as JSON to this file")
 	)
 	flag.Parse()
 
@@ -65,6 +68,9 @@ func main() {
 		tr.App, tr.NumRanks(), tr.NumEvents(), kind)
 	cfg := replay.Config{Engine: kind}
 	cfg.Options.Faults = plan
+	if *traceOut != "" {
+		cfg.Options.Obs = cfg.Options.Obs.Tracing()
+	}
 	res, err := replay.Run(tr, cfg)
 	if err != nil {
 		fatal(err)
@@ -80,6 +86,18 @@ func main() {
 		r := res.Reliability
 		fmt.Printf("repair: sent=%d retransmits=%d dups-dropped=%d out-of-order=%d sacks=%d rnr-retries=%d\n",
 			r.Sent, r.Retransmits, r.DupDropped, r.OutOfOrder, r.Sacks, r.SendRNR)
+	}
+	if *traceOut != "" {
+		if err := obs.WriteTraceFile(*traceOut, res.Sinks); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote Chrome trace to %s\n", *traceOut)
+	}
+	if *statsJSON != "" {
+		if err := obs.WriteJSONFile(*statsJSON, res.Sinks); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote observability snapshot to %s\n", *statsJSON)
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/analyzer"
 	"repro/internal/bench"
+	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/tracegen"
 )
@@ -37,10 +38,20 @@ func main() {
 		parallel   = flag.Int("parallel", 0, "replay worker pool width (0 = GOMAXPROCS)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace_event JSON (chrome://tracing, Perfetto) to this file")
+		statsJSON  = flag.String("stats-json", "", "write observability counter snapshots as JSON to this file")
 	)
 	flag.Parse()
 	engine := analyzer.Engine(*matcher)
 	cfg := analyzer.Config{Engine: engine, Workers: *parallel}
+
+	var sink *obs.Sink
+	if *traceOut != "" {
+		sink = obs.New(obs.Options{}.Tracing())
+	} else if *statsJSON != "" {
+		sink = obs.New(obs.Options{})
+	}
+	cfg.Obs = sink
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -138,6 +149,22 @@ func main() {
 
 	default:
 		fatal(fmt.Errorf("unknown report %q", *report))
+	}
+
+	if sink != nil {
+		named := []obs.Named{{Name: "analyzer", Sink: sink}}
+		if *traceOut != "" {
+			if err := obs.WriteTraceFile(*traceOut, named); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote Chrome trace to %s\n", *traceOut)
+		}
+		if *statsJSON != "" {
+			if err := obs.WriteJSONFile(*statsJSON, named); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote observability snapshot to %s\n", *statsJSON)
+		}
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"repro/internal/match"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -67,6 +68,10 @@ type Config struct {
 	// width produces byte-identical reports; 1 still uses the sharded path
 	// on a single goroutine — AnalyzeSerial is the unsharded reference.
 	Workers int
+	// Obs, when non-nil, receives the analyzer's counters (shards run,
+	// events replayed) and — when the sink is tracing — per-shard and
+	// per-phase events for Chrome trace export. A nil sink costs nothing.
+	Obs *obs.Sink
 }
 
 func (c *Config) fill() {

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/match"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -46,6 +47,7 @@ func runShard(sh *shard, cfg Config) shardResult {
 		tags: make(map[int32]struct{}),
 		keys: make(map[[3]int32]struct{}),
 	}
+	start := cfg.Obs.Now()
 	m, err := newInstance(cfg)
 	if err != nil {
 		res.err = err
@@ -85,6 +87,12 @@ func runShard(sh *shard, cfg Config) shardResult {
 	}
 	res.depth = m.depth()
 	res.unexpected = m.unexpectedTotal()
+	cfg.Obs.CounterInc(obs.CtrAnalyzerShards)
+	cfg.Obs.CounterAdd(obs.CtrAnalyzerEvents, uint64(len(sh.steps)))
+	if cfg.Obs.Enabled() {
+		cfg.Obs.Event(obs.EvAnalyzerShard, int(sh.rank),
+			uint64(sh.rank), uint64(len(sh.steps)), uint64(cfg.Obs.Now()-start))
+	}
 	return res
 }
 
@@ -216,11 +224,27 @@ func (sc *Schedule) Analyze(cfg Config) (*Report, error) {
 		return nil, fmt.Errorf("analyzer: Bins must be >= 1, got %d", cfg.Bins)
 	}
 	results := make([]shardResult, len(sc.shards))
+	replayStart := cfg.Obs.Now()
 	runPool(len(sc.shards), cfg.workerCount(len(sc.shards)), func(i int) {
 		results[i] = runShard(&sc.shards[i], cfg)
 	})
-	return sc.merge(results, cfg)
+	if cfg.Obs.Enabled() {
+		cfg.Obs.Event(obs.EvAnalyzerPhase, 0, phaseReplay, uint64(cfg.Obs.Now()-replayStart), 0)
+	}
+	mergeStart := cfg.Obs.Now()
+	rep, err := sc.merge(results, cfg)
+	if cfg.Obs.Enabled() {
+		cfg.Obs.Event(obs.EvAnalyzerPhase, 0, phaseMerge, uint64(cfg.Obs.Now()-mergeStart), 0)
+	}
+	return rep, err
 }
+
+// Phase codes carried by EvAnalyzerPhase events (A payload word).
+const (
+	phaseSchedule uint64 = iota
+	phaseReplay
+	phaseMerge
+)
 
 // Sweep replays the schedule once per bin count, fanning every
 // (bin count × shard) replay out over one shared worker pool. The step

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -44,6 +45,7 @@ type shard struct {
 // restricted to that rank.
 func BuildSchedule(t *trace.Trace, cfg Config) *Schedule {
 	cfg.fill()
+	start := cfg.Obs.Now()
 	sc := &Schedule{app: t.App, procs: t.NumRanks(), mix: t.Mix()}
 
 	sc.shards = make([]shard, len(t.Ranks))
@@ -96,6 +98,9 @@ func BuildSchedule(t *trace.Trace, cfg Config) *Schedule {
 		}(sc.shards[i].steps)
 	}
 	wg.Wait()
+	if cfg.Obs.Enabled() {
+		cfg.Obs.Event(obs.EvAnalyzerPhase, 0, phaseSchedule, uint64(cfg.Obs.Now()-start), 0)
+	}
 	return sc
 }
 

@@ -11,6 +11,7 @@ import (
 	"repro/internal/dpa"
 	"repro/internal/match"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/rdma"
 )
 
@@ -46,6 +47,11 @@ type MsgRateConfig struct {
 	// RetxTimeout overrides the reliability retransmit timeout (faulty runs
 	// only; zero keeps the mpi default).
 	RetxTimeout time.Duration
+	// Obs configures the world's observability sinks. Counters are always
+	// collected; set TraceEvents (e.g. via obs.Options.Tracing) to capture
+	// event rings for Chrome trace export. The sinks land in
+	// MsgRateResult.Sinks.
+	Obs obs.Options
 }
 
 func (c *MsgRateConfig) fill() {
@@ -105,6 +111,10 @@ type MsgRateResult struct {
 	// Faults and Reliability are populated when cfg.Faults is active.
 	Faults      rdma.FaultSnapshot
 	Reliability mpi.ReliabilitySnapshot
+	// Sinks are the world's observability sinks (per rank plus the fabric),
+	// captured before teardown for stats/trace export. Names are prefixed
+	// with the scenario label when one is set.
+	Sinks []obs.Named
 }
 
 // String renders one result row.
@@ -134,6 +144,7 @@ func RunMsgRate(cfg MsgRateConfig) (*MsgRateResult, error) {
 		EagerLimit:  1024,
 		Faults:      cfg.Faults,
 		RetxTimeout: cfg.RetxTimeout,
+		Obs:         cfg.Obs,
 	})
 	if err != nil {
 		return nil, err
@@ -219,6 +230,14 @@ func RunMsgRate(cfg MsgRateConfig) (*MsgRateResult, error) {
 	if cfg.Faults.Active() {
 		res.Faults = w.FaultStats()
 		res.Reliability = w.ReliabilityStats()
+	}
+	// Sink state (atomics) stays readable after the deferred Close; only
+	// the names need the scenario prefix for multi-run exports.
+	res.Sinks = w.ObsSinks()
+	if cfg.Label != "" {
+		for i := range res.Sinks {
+			res.Sinks[i].Name = cfg.Label + "/" + res.Sinks[i].Name
+		}
 	}
 	return res, nil
 }

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/match"
+	"repro/internal/obs"
 )
 
 // Path identifies how a message's match was finalized, for statistics and
@@ -193,7 +194,8 @@ type Block struct {
 	early   [MaxBlockSize]bool // result committed at Match time
 	tstats  [MaxBlockSize]threadStats
 
-	seqBase uint64
+	seqBase   uint64
+	startNano int64 // launch timestamp (obs tracing only; 0 when disabled)
 }
 
 // threadStats accumulates per-thread counters, folded into EngineStats at
@@ -208,6 +210,7 @@ type threadStats struct {
 	unexpected  uint64
 	matched     uint64
 	revalidated uint64
+	steals      uint64
 	maxDepth    uint64
 }
 
@@ -238,8 +241,8 @@ func (m *OptimisticMatcher) BeginBlock(n int) *Block {
 	// Count the block up front: a handler may complete a user request
 	// mid-block, and an observer woken by that completion must already see
 	// the traffic in Stats(). The outcome counters fold in at retirement.
-	m.stats.blocks.Add(1)
-	m.stats.messages.Add(uint64(n))
+	m.obs.Counters.Inc(obs.CtrBlocks)
+	m.obs.Counters.Add(obs.CtrMessages, uint64(n))
 	r.mu.Unlock()
 
 	// The slot's previous occupant (sequence seq-K) has retired and its
@@ -267,7 +270,27 @@ func (m *OptimisticMatcher) BeginBlock(n int) *Block {
 		b.early[i] = false
 		b.tstats[i] = threadStats{}
 	}
+	b.startNano = 0
+	if m.obs.Enabled() {
+		b.startNano = m.obs.Now()
+		m.obs.EventAt(b.startNano, obs.EvBlockLaunch, 0, seq, uint64(n), horizon)
+	}
 	return b
+}
+
+// consume claims d for thread tid of this block, recording steal provenance:
+// when the claim took the descriptor back from a higher-sequence block, the
+// per-thread steal counter and (when tracing) an EvBlockSteal event record
+// the theft the victim will discover at its retirement re-derivation.
+func (b *Block) consume(d *descriptor, tid int) bool {
+	ok, victim := d.consumeFrom(b.seq, tid)
+	if ok && victim != 0 {
+		b.tstats[tid].steals++
+		if b.m.obs.Enabled() {
+			b.m.obs.Event(obs.EvBlockSteal, tid, b.seq, victim, uint64(d.slot))
+		}
+	}
+	return ok
 }
 
 // Match matches the message for thread tid. It must be called exactly once
@@ -320,7 +343,7 @@ func (b *Block) Match(tid int, env *match.Envelope) (Result, bool) {
 		if cand == nil {
 			return b.finalizeUnexpected(tid, env, PathUnexpected)
 		}
-		if cand.consume(b.seq, tid) {
+		if b.consume(cand, tid) {
 			st.optimistic++
 			return b.finalizeMatch(tid, env, cand, PathOptimistic)
 		}
@@ -352,7 +375,7 @@ func (b *Block) Match(tid int, env *match.Envelope) (Result, bool) {
 		if d == nil {
 			return b.finalizeUnexpected(tid, env, PathUnexpected)
 		}
-		if d.consume(b.seq, tid) {
+		if b.consume(d, tid) {
 			return b.finalizeMatch(tid, env, d, PathSlow)
 		}
 		// A racing consumption by a lower-sequence in-flight block; retry
@@ -372,7 +395,7 @@ func (b *Block) matchRelaxed(tid int, env *match.Envelope, st *threadStats) (Res
 		if d == nil {
 			return b.finalizeUnexpected(tid, env, PathUnexpected)
 		}
-		if d.consume(b.seq, tid) {
+		if b.consume(d, tid) {
 			return b.finalizeMatch(tid, env, d, PathOptimistic)
 		}
 	}
@@ -385,9 +408,16 @@ func (b *Block) enterBarrier(tid int) {
 	b.booked.complete(tid)
 	if b.m.cfg.SimultaneousArrival {
 		b.booked.waitThrough(b.n - 1)
-		return
+	} else {
+		b.booked.waitThrough(tid - 1)
 	}
-	b.booked.waitThrough(tid - 1)
+	// One event per block, not per thread: the top of the staircase is the
+	// last exit, so its timestamp bounds every thread's barrier phase.
+	// Per-thread emission costs a ring write per MESSAGE and alone pushes
+	// the enabled-tracing overhead past the DESIGN.md §10 budget.
+	if tid == b.n-1 && b.m.obs.Enabled() {
+		b.m.obs.Event(obs.EvBlockBarrierExit, tid, b.seq, uint64(tid), 0)
+	}
 }
 
 // waitLowerDone blocks until every thread below tid has finalized.
@@ -440,7 +470,7 @@ func (b *Block) fastShift(cand *descriptor, tid int) *descriptor {
 			continue // mid-recycle remnant: not a position
 		}
 		if pos == tid {
-			if d.consume(b.seq, tid) {
+			if b.consume(d, tid) {
 				return d
 			}
 			return nil // lost a cross-block race: use the slow path
@@ -472,6 +502,14 @@ func (b *Block) finalizeMatch(tid int, env *match.Envelope, d *descriptor, p Pat
 	b.final[tid] = d
 	b.results[tid] = r
 	b.tstats[tid].matched++
+	if b.m.obs.Enabled() {
+		switch p {
+		case PathFast:
+			b.m.obs.Event(obs.EvMatchFast, tid, b.seq, uint64(tid), 0)
+		case PathSlow:
+			b.m.obs.Event(obs.EvMatchSlow, tid, b.seq, uint64(tid), 0)
+		}
+	}
 	b.done.complete(tid)
 	return r, final
 }
@@ -515,6 +553,18 @@ func (b *Block) finishInto(out []Result) {
 	r.mu.Unlock()
 
 	b.validate()
+	if m.obs.Enabled() {
+		// Settle events only carry information when validation actually
+		// redid something; the conflict-free common case skips the ring
+		// write (the per-block launch/retire span is recorded regardless).
+		var reval uint64
+		for tid := 0; tid < b.n; tid++ {
+			reval += b.tstats[tid].revalidated
+		}
+		if reval > 0 {
+			m.obs.Event(obs.EvBlockSettle, 0, b.seq, reval, 0)
+		}
+	}
 
 	// Sweep: unlink consumed descriptors (the deferred half of lazy
 	// removal) under their bucket locks, then release them. Reclamation of
@@ -546,26 +596,30 @@ func (b *Block) finishInto(out []Result) {
 		agg.unexpected += ts.unexpected
 		agg.matched += ts.matched
 		agg.revalidated += ts.revalidated
+		agg.steals += ts.steals
 		if ts.maxDepth > agg.maxDepth {
 			agg.maxDepth = ts.maxDepth
 		}
 	}
-	m.stats.optimistic.Add(agg.optimistic)
-	m.stats.conflicts.Add(agg.conflicts)
-	m.stats.fastPath.Add(agg.fastPath)
-	m.stats.slowPath.Add(agg.slowPath)
-	m.stats.unexpected.Add(agg.unexpected)
-	m.stats.relaxed.Add(agg.relaxed)
-	m.stats.lazyReaped.Add(reaped)
-	m.stats.revalidated.Add(agg.revalidated)
+	c := &m.obs.Counters
+	c.Add(obs.CtrOptimistic, agg.optimistic)
+	c.Add(obs.CtrConflicts, agg.conflicts)
+	c.Add(obs.CtrFastPath, agg.fastPath)
+	c.Add(obs.CtrSlowPath, agg.slowPath)
+	c.Add(obs.CtrUnexpected, agg.unexpected)
+	c.Add(obs.CtrRelaxed, agg.relaxed)
+	c.Add(obs.CtrLazyReaped, reaped)
+	c.Add(obs.CtrRevalidated, agg.revalidated)
+	c.Add(obs.CtrSteals, agg.steals)
 	if m.cfg.LazyRemoval {
-		m.stats.lazySweeps.Add(1)
+		c.Inc(obs.CtrLazySweeps)
 	}
-	m.depth.arriveSearches.Add(uint64(b.n))
-	m.depth.arriveTraversed.Add(agg.traversed)
-	storeMax(&m.depth.arriveMax, agg.maxDepth)
-	m.depth.matched.Add(agg.matched)
-	m.depth.unexpected.Add(agg.unexpected)
+	c.Add(obs.CtrArriveSearches, uint64(b.n))
+	c.Add(obs.CtrArriveTraversed, agg.traversed)
+	c.Max(obs.CtrArriveMaxDepth, agg.maxDepth)
+	c.Add(obs.CtrMatched, agg.matched)
+	c.Add(obs.CtrUnexpectedStored, agg.unexpected)
+	c.Inc(obs.CtrRetires)
 
 	if out != nil {
 		copy(out, b.results[:b.n])
@@ -581,6 +635,15 @@ func (b *Block) finishInto(out []Result) {
 	if deliver != nil {
 		copy(dres[:n], b.results[:n])
 		copy(dearly[:n], b.early[:n])
+	}
+	// The retire record must be cut before the frontier advances: after
+	// that, K-1 further retirements may recycle this ring slot and reuse
+	// b.seq/b.startNano for block seq+K.
+	if m.obs.Enabled() {
+		now := m.obs.Now()
+		life := uint64(now - b.startNano)
+		m.obs.EventAt(now, obs.EvBlockRetire, 0, b.seq, uint64(n), life)
+		m.obs.Observe(obs.HistBlockNs, life)
 	}
 
 	// Retire: advance the frontier, waking the next block's Finish and any
@@ -693,6 +756,9 @@ func (b *Block) publishUnexpected(env *match.Envelope) {
 		h(env)
 	}
 	b.m.unexpected.insertLocked(env)
+	if b.m.obs.Enabled() {
+		b.m.obs.Event(obs.EvUnexpectedPub, 0, b.seq, 0, 0)
+	}
 }
 
 // research redoes thread tid's search at retirement with horizon hzn. The
@@ -706,7 +772,7 @@ func (b *Block) research(tid int, env *match.Envelope, hzn uint64) *descriptor {
 		if d == nil {
 			return nil
 		}
-		if d.consume(b.seq, tid) {
+		if b.consume(d, tid) {
 			return d
 		}
 	}

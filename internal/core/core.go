@@ -51,6 +51,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/match"
+	"repro/internal/obs"
 )
 
 // MaxBlockSize is the largest supported matching block (the paper's
@@ -222,37 +223,12 @@ type OptimisticMatcher struct {
 	// bounce buffer.
 	onUnexpected func(*match.Envelope)
 
-	// Statistics live in atomic counters so Stats()/DepthStats() snapshots
-	// never block behind an in-flight arrival block.
-	stats engineCounters
-	depth depthCounters
-}
-
-// engineCounters is EngineStats with atomic storage. Writers fold whole
-// blocks at retirement (one Add per field); readers assemble snapshots
-// without any lock.
-type engineCounters struct {
-	blocks, messages, optimistic, conflicts, fastPath, slowPath,
-	unexpected, relaxed, tableFull, lazySweeps, lazyReaped,
-	revalidated atomic.Uint64
-}
-
-// depthCounters is match.Stats with atomic storage (same reader/writer
-// contract as engineCounters).
-type depthCounters struct {
-	postSearches, postTraversed, postMax,
-	arriveSearches, arriveTraversed, arriveMax,
-	matched, unexpected, queued atomic.Uint64
-}
-
-// storeMax raises a monotone atomic maximum to at least v.
-func storeMax(a *atomic.Uint64, v uint64) {
-	for {
-		cur := a.Load()
-		if v <= cur || a.CompareAndSwap(cur, v) {
-			return
-		}
-	}
+	// obs is the observability sink: engine and search-depth statistics
+	// live in its enum-indexed atomic counters (the former engineCounters
+	// and depthCounters mirrors are gone — DESIGN.md §10), and lifecycle
+	// events go to its ring buffers when tracing is enabled. Always
+	// non-nil: New installs a counters-only sink, SetObs replaces it.
+	obs *obs.Sink
 }
 
 // postKey is the compatibility key of §III-D3a: consecutive receives with
@@ -276,6 +252,7 @@ func New(cfg Config) (*OptimisticMatcher, error) {
 		idxTagWild: newRecvIndex(cfg.Bins),
 		idxBoth:    newRecvIndex(1),
 		unexpected: newUnexpectedStore(cfg.Bins),
+		obs:        obs.New(obs.Options{}),
 	}
 	m.ring.slots = make([]Block, cfg.InFlightBlocks)
 	m.ring.next = 1
@@ -296,6 +273,19 @@ func MustNew(cfg Config) *OptimisticMatcher {
 
 // Config returns the matcher's configuration.
 func (m *OptimisticMatcher) Config() Config { return m.cfg }
+
+// SetObs replaces the matcher's observability sink, redirecting its
+// counters and (when the sink has tracing enabled) its lifecycle events.
+// Install it before any traffic; a nil sink is ignored. Counters already
+// accumulated in the previous sink are not migrated.
+func (m *OptimisticMatcher) SetObs(s *obs.Sink) {
+	if s != nil {
+		m.obs = s
+	}
+}
+
+// Obs returns the matcher's observability sink (never nil).
+func (m *OptimisticMatcher) Obs() *obs.Sink { return m.obs }
 
 // SetUnexpectedHook installs a callback invoked exactly once per unexpected
 // message, under the store lock, right before the message becomes visible to
@@ -363,18 +353,23 @@ func (m *OptimisticMatcher) PostRecv(r *match.Recv) (*match.Envelope, bool, erro
 	// receive's wildcard class needs searching, because every unexpected
 	// message is indexed in all four structures.
 	env, depth := s.takeMatchLocked(r)
-	m.depth.postSearches.Add(1)
-	m.depth.postTraversed.Add(depth)
-	storeMax(&m.depth.postMax, depth)
+	c := &m.obs.Counters
+	c.Inc(obs.CtrPostSearches)
+	c.Add(obs.CtrPostTraversed, depth)
+	c.Max(obs.CtrPostMaxDepth, depth)
+	m.obs.Observe(obs.HistPostDepth, depth)
 	if env != nil {
-		m.depth.matched.Add(1)
+		c.Inc(obs.CtrMatched)
+		if m.obs.Enabled() {
+			m.obs.Event(obs.EvPostMatch, 0, r.Label, depth, 0)
+		}
 		m.postHorizon.Store(r.Label + 1)
 		return env, true, nil
 	}
 
 	d := m.table.alloc()
 	if d == nil {
-		m.stats.tableFull.Add(1)
+		c.Inc(obs.CtrTableFull)
 		// The label is spent even on failure, so the watermark still moves.
 		m.postHorizon.Store(r.Label + 1)
 		return nil, false, ErrTableFull
@@ -391,7 +386,7 @@ func (m *OptimisticMatcher) PostRecv(r *match.Recv) (*match.Envelope, bool, erro
 
 	idx := m.indexFor(d.class)
 	idx.insert(d, keyHashFor(d.class, r.Source, r.Tag, r.Comm), m.cfg.LazyRemoval)
-	m.depth.queued.Add(1)
+	c.Inc(obs.CtrQueued)
 	// Ordered publish: advance the watermark only after the descriptor is
 	// fully linked. The store is still locked, so watermark advances are
 	// monotone.
@@ -424,28 +419,27 @@ func (m *OptimisticMatcher) UnexpectedDepth() int {
 // without taking any lock; individual fields are each coherent but the
 // snapshot as a whole may interleave with a concurrent block.
 func (m *OptimisticMatcher) DepthStats() match.Stats {
+	c := &m.obs.Counters
 	return match.Stats{
-		PostSearches:    m.depth.postSearches.Load(),
-		PostTraversed:   m.depth.postTraversed.Load(),
-		PostMaxDepth:    m.depth.postMax.Load(),
-		ArriveSearches:  m.depth.arriveSearches.Load(),
-		ArriveTraversed: m.depth.arriveTraversed.Load(),
-		ArriveMaxDepth:  m.depth.arriveMax.Load(),
-		Matched:         m.depth.matched.Load(),
-		Unexpected:      m.depth.unexpected.Load(),
-		Queued:          m.depth.queued.Load(),
+		PostSearches:    c.Load(obs.CtrPostSearches),
+		PostTraversed:   c.Load(obs.CtrPostTraversed),
+		PostMaxDepth:    c.Load(obs.CtrPostMaxDepth),
+		ArriveSearches:  c.Load(obs.CtrArriveSearches),
+		ArriveTraversed: c.Load(obs.CtrArriveTraversed),
+		ArriveMaxDepth:  c.Load(obs.CtrArriveMaxDepth),
+		Matched:         c.Load(obs.CtrMatched),
+		Unexpected:      c.Load(obs.CtrUnexpectedStored),
+		Queued:          c.Load(obs.CtrQueued),
 	}
 }
 
 // ResetDepthStats zeroes the search-depth statistics.
 func (m *OptimisticMatcher) ResetDepthStats() {
-	for _, c := range []*atomic.Uint64{
-		&m.depth.postSearches, &m.depth.postTraversed, &m.depth.postMax,
-		&m.depth.arriveSearches, &m.depth.arriveTraversed, &m.depth.arriveMax,
-		&m.depth.matched, &m.depth.unexpected, &m.depth.queued,
-	} {
-		c.Store(0)
-	}
+	m.obs.Counters.Reset(
+		obs.CtrPostSearches, obs.CtrPostTraversed, obs.CtrPostMaxDepth,
+		obs.CtrArriveSearches, obs.CtrArriveTraversed, obs.CtrArriveMaxDepth,
+		obs.CtrMatched, obs.CtrUnexpectedStored, obs.CtrQueued,
+	)
 }
 
 // EngineStats counts engine-internal events for benchmarks and ablations.
@@ -462,37 +456,41 @@ type EngineStats struct {
 	LazySweeps  uint64 // lazy-removal chain sweeps
 	LazyReaped  uint64 // consumed entries unlinked by sweeps
 	Revalidated uint64 // retirement-time redos (cross-block steals, raced posts)
+	Steals      uint64 // descriptors stolen back from higher-sequence blocks
+	Retires     uint64 // arrival blocks retired (== Blocks once quiesced)
 }
 
-// Stats returns a snapshot of the engine statistics, assembled from atomic
-// counters without taking any lock.
+// Stats returns a snapshot of the engine statistics, assembled from the
+// sink's atomic counters without taking any lock.
 func (m *OptimisticMatcher) Stats() EngineStats {
+	c := &m.obs.Counters
 	return EngineStats{
-		Blocks:      m.stats.blocks.Load(),
-		Messages:    m.stats.messages.Load(),
-		Optimistic:  m.stats.optimistic.Load(),
-		Conflicts:   m.stats.conflicts.Load(),
-		FastPath:    m.stats.fastPath.Load(),
-		SlowPath:    m.stats.slowPath.Load(),
-		Unexpected:  m.stats.unexpected.Load(),
-		Relaxed:     m.stats.relaxed.Load(),
-		TableFull:   m.stats.tableFull.Load(),
-		LazySweeps:  m.stats.lazySweeps.Load(),
-		LazyReaped:  m.stats.lazyReaped.Load(),
-		Revalidated: m.stats.revalidated.Load(),
+		Blocks:      c.Load(obs.CtrBlocks),
+		Messages:    c.Load(obs.CtrMessages),
+		Optimistic:  c.Load(obs.CtrOptimistic),
+		Conflicts:   c.Load(obs.CtrConflicts),
+		FastPath:    c.Load(obs.CtrFastPath),
+		SlowPath:    c.Load(obs.CtrSlowPath),
+		Unexpected:  c.Load(obs.CtrUnexpected),
+		Relaxed:     c.Load(obs.CtrRelaxed),
+		TableFull:   c.Load(obs.CtrTableFull),
+		LazySweeps:  c.Load(obs.CtrLazySweeps),
+		LazyReaped:  c.Load(obs.CtrLazyReaped),
+		Revalidated: c.Load(obs.CtrRevalidated),
+		Steals:      c.Load(obs.CtrSteals),
+		Retires:     c.Load(obs.CtrRetires),
 	}
 }
 
 // ResetStats zeroes the engine statistics.
 func (m *OptimisticMatcher) ResetStats() {
-	for _, c := range []*atomic.Uint64{
-		&m.stats.blocks, &m.stats.messages, &m.stats.optimistic,
-		&m.stats.conflicts, &m.stats.fastPath, &m.stats.slowPath,
-		&m.stats.unexpected, &m.stats.relaxed, &m.stats.tableFull,
-		&m.stats.lazySweeps, &m.stats.lazyReaped, &m.stats.revalidated,
-	} {
-		c.Store(0)
-	}
+	m.obs.Counters.Reset(
+		obs.CtrBlocks, obs.CtrMessages, obs.CtrOptimistic,
+		obs.CtrConflicts, obs.CtrFastPath, obs.CtrSlowPath,
+		obs.CtrUnexpected, obs.CtrRelaxed, obs.CtrTableFull,
+		obs.CtrLazySweeps, obs.CtrLazyReaped, obs.CtrRevalidated,
+		obs.CtrSteals, obs.CtrRetires,
+	)
 }
 
 // Footprint is the §IV-E DPA memory model of a configuration.

@@ -105,22 +105,30 @@ func (d *descriptor) book(cur uint32, tid int) {
 // this block's point of view. Steals only ever lower the owning sequence, so
 // chains of steals terminate.
 func (d *descriptor) consume(seq uint64, tid int) bool {
+	ok, _ := d.consumeFrom(seq, tid)
+	return ok
+}
+
+// consumeFrom is consume reporting provenance: on success, stolenFrom is
+// the sequence of the higher block the descriptor was taken back from, or
+// 0 when it was plainly posted (no steal).
+func (d *descriptor) consumeFrom(seq uint64, tid int) (ok bool, stolenFrom uint64) {
 	for {
 		w := d.word.Load()
 		switch ownState(w) {
 		case statePosted:
 			if d.word.CompareAndSwap(w, packConsumed(seq, tid)) {
-				return true
+				return true, 0
 			}
 		case stateConsumed:
 			if ownSeq(w) <= seq {
-				return false
+				return false, 0
 			}
 			if d.word.CompareAndSwap(w, packConsumed(seq, tid)) {
-				return true
+				return true, ownSeq(w)
 			}
 		default:
-			return false // free: mid-recycle, never a candidate
+			return false, 0 // free: mid-recycle, never a candidate
 		}
 	}
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/match"
+	"repro/internal/obs"
 	"repro/internal/rdma"
 )
 
@@ -17,12 +18,24 @@ import (
 // in place the loop must run at zero heap allocations per message
 // (ReportAllocs verifies; EXPERIMENTS.md records the numbers).
 func BenchmarkArrivalHotPath(b *testing.B) {
+	benchArrivalHotPath(b, obs.Options{})
+}
+
+// BenchmarkArrivalHotPathTraced is the same flood with event tracing on:
+// the delta against BenchmarkArrivalHotPath is the observability layer's
+// enabled overhead (EXPERIMENTS.md budgets it under 5%).
+func BenchmarkArrivalHotPathTraced(b *testing.B) {
+	benchArrivalHotPath(b, obs.Options{}.Tracing())
+}
+
+func benchArrivalHotPath(b *testing.B, opts obs.Options) {
 	acc := MustNew(Config{Threads: 8})
 	defer acc.Close()
 	matcher := core.MustNew(core.Config{
 		Bins: 2048, MaxReceives: 8192, BlockSize: 8,
 		EarlyBookingCheck: true, LazyRemoval: true, UseInlineHashes: true,
 	})
+	matcher.SetObs(obs.New(opts))
 	cq := rdma.NewCQ()
 	p := NewPipeline(acc, matcher, cq)
 	p.Decode = func(c rdma.Completion, env *match.Envelope) *match.Envelope {

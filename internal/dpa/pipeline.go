@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/match"
+	"repro/internal/obs"
 	"repro/internal/rdma"
 )
 
@@ -160,6 +161,7 @@ func (r *blockRunner) deliver(tid int, res core.Result) {
 // pipelined in depth as well as in formation).
 func (p *Pipeline) run() {
 	defer p.wg.Done()
+	o := p.matcher.Obs() // CQ drains land in the matcher's sink (one domain per rank)
 	cfg := p.matcher.Config()
 	blockSize := cfg.BlockSize
 	depth := cfg.InFlightBlocks
@@ -240,6 +242,12 @@ func (p *Pipeline) run() {
 
 		p.cursor += uint64(n)
 		p.cq.Trim(p.cursor)
+		o.Counters.Inc(obs.CtrCQDrains)
+		o.Counters.Add(obs.CtrCQCompletions, uint64(n))
+		o.Observe(obs.HistDrainBatch, uint64(n))
+		if o.Enabled() {
+			o.Event(obs.EvCQDrain, 0, uint64(n), p.cursor, uint64(len(w.comps)))
+		}
 
 		if len(w.comps) > 0 {
 			// Begin the block here, on the formation loop, so block

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dpa"
 	"repro/internal/match"
+	"repro/internal/obs"
 	"repro/internal/rdma"
 )
 
@@ -95,6 +96,12 @@ func (e *hostEngine) run() {
 		}
 		cursor += uint64(n)
 		e.p.recvCQ.Trim(cursor) // keep the window bounded
+		e.p.obs.Counters.Inc(obs.CtrCQDrains)
+		e.p.obs.Counters.Add(obs.CtrCQCompletions, uint64(n))
+		e.p.obs.Observe(obs.HistDrainBatch, uint64(n))
+		if e.p.obs.Enabled() {
+			e.p.obs.Event(obs.EvCQDrain, 0, uint64(n), cursor, uint64(n))
+		}
 	}
 }
 
@@ -148,6 +155,10 @@ func newOffloadEngine(p *Proc) (*offloadEngine, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The rank's sink becomes the matcher's observability domain, so the
+	// engine's counters, the pipeline's CQ-drain accounting, and the
+	// reliability sublayer all export through one Named sink per rank.
+	matcher.SetObs(p.obs)
 	// Budget the default matching tables against DPA memory (§IV-E);
 	// failure to fit the base set is a setup error.
 	fp := matcher.ModelFootprint()

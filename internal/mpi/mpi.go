@@ -24,6 +24,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dpa"
 	"repro/internal/match"
+	"repro/internal/obs"
 	"repro/internal/rdma"
 )
 
@@ -100,6 +101,13 @@ type Options struct {
 	// its own table footprint against DPA memory; a communicator that does
 	// not fit falls back to software (host) matching, as §IV-E prescribes.
 	CommInfo map[int32]CommInfo
+	// Obs configures the world's observability sinks: one per rank (shared
+	// by that rank's matching engine, datapath, and reliability sublayer)
+	// plus one for the fabric's fault injectors. The zero value records
+	// counters and histograms only; set Obs.TraceEvents (or use
+	// obs.Options{}.Tracing()) to also capture event rings exportable as
+	// Chrome trace JSON via ObsSinks + obs.WriteTrace.
+	Obs obs.Options
 }
 
 // CommInfo mirrors an MPI communicator info object: matching assertions
@@ -156,7 +164,8 @@ func NewWorld(n int, opts Options) (*World, error) {
 	}
 	opts.fill()
 	w := &World{opts: opts, fabric: rdma.NewFabric()}
-	w.fabric.SetFaults(opts.Faults) // before ConnectPair: QPs inherit injectors
+	w.fabric.SetObs(obs.New(opts.Obs)) // before ConnectPair: injectors capture the sink
+	w.fabric.SetFaults(opts.Faults)    // before ConnectPair: QPs inherit injectors
 	w.payloads.New = func() any {
 		b := make([]byte, 0, w.opts.EagerLimit)
 		return &b
@@ -233,9 +242,21 @@ func (w *World) ReliabilityStats() ReliabilitySnapshot {
 	var out ReliabilitySnapshot
 	for _, p := range w.procs {
 		if p.rel != nil {
-			out = out.Add(p.rel.stats.Snapshot())
+			out = out.Add(p.rel.snapshot())
 		}
 	}
+	return out
+}
+
+// ObsSinks returns every observability domain of the world — one named
+// sink per rank plus the fabric's — ready for obs.WriteJSON or
+// obs.WriteTrace.
+func (w *World) ObsSinks() []obs.Named {
+	out := make([]obs.Named, 0, len(w.procs)+1)
+	for _, p := range w.procs {
+		out = append(out, obs.Named{Name: fmt.Sprintf("rank%d", p.rank), Sink: p.obs})
+	}
+	out = append(out, obs.Named{Name: "fabric", Sink: w.fabric.Obs()})
 	return out
 }
 
@@ -255,6 +276,11 @@ type Proc struct {
 
 	engine engine
 	rel    *reliability // non-nil only under an active fault plan
+
+	// obs is the rank's observability domain, shared by the matching
+	// engine, the arrival datapath, and the reliability sublayer (disjoint
+	// counter ranges). Always non-nil.
+	obs *obs.Sink
 
 	pendMu  sync.Mutex
 	pending map[uint64]*pendingSend // rendezvous sends by rkey
@@ -279,6 +305,7 @@ func newProc(w *World, rank, n int) (*Proc, error) {
 		recvCQ:  rdma.NewCQ(),
 		srq:     rdma.NewRecvQueue(w.opts.RecvDepth),
 		pending: make(map[uint64]*pendingSend),
+		obs:     obs.New(w.opts.Obs),
 	}
 	p.rawCQ = p.recvCQ
 	if w.opts.Faults.Active() {
@@ -286,6 +313,7 @@ func newProc(w *World, rank, n int) (*Proc, error) {
 		// filter republishes repaired streams onto recvCQ for the engine.
 		p.rawCQ = rdma.NewCQ()
 		p.rel = newReliability(p, w.opts.RetxTimeout)
+		p.rel.obs = p.obs
 	}
 	// Stock the bounce-buffer pool (§IV-A: buffers live in NIC memory).
 	bufSize := headerSize + w.opts.EagerLimit
@@ -322,8 +350,11 @@ func (p *Proc) ReliabilityStats() ReliabilitySnapshot {
 	if p.rel == nil {
 		return ReliabilitySnapshot{}
 	}
-	return p.rel.stats.Snapshot()
+	return p.rel.snapshot()
 }
+
+// Obs returns the rank's observability sink.
+func (p *Proc) Obs() *obs.Sink { return p.obs }
 
 // Rank returns the process rank.
 func (p *Proc) Rank() int { return p.rank }

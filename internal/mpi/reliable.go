@@ -1,10 +1,11 @@
 package mpi
 
 import (
+	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/rdma"
 )
 
@@ -45,7 +46,19 @@ type reliability struct {
 	retxTimeout time.Duration
 	retxMax     time.Duration
 
-	stats ReliabilityStats
+	// Injectable seams. Production wiring (newReliability) binds them to
+	// the wall clock and the proc's QPs; the fake-clock unit tests bind
+	// them to a manual clock and in-memory transmit logs, so timeout and
+	// backoff behaviour is testable without a fabric or goroutines.
+	now         func() time.Time
+	xmit        func(dst int, wire []byte) error // data-plane send (faultable)
+	xmitControl func(dst int, wire []byte) error // control-plane send (sacks)
+	getBuf      func(n int) []byte               // retained-copy allocation
+	putBuf      func([]byte)                     // retained-copy release
+
+	// obs carries the sublayer's counters (obs.CtrRel*) and repair events;
+	// always non-nil (newProc injects the rank's shared sink).
+	obs *obs.Sink
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -71,39 +84,29 @@ type relRecv struct {
 	buffered map[uint32]rdma.Completion // future sequences, bounce buffers held
 }
 
-// ReliabilityStats counts the sublayer's work. All counters are atomic;
-// Snapshot returns a plain copy.
-type ReliabilityStats struct {
-	Sent        atomic.Uint64 // reliable messages first-sent
-	Retransmits atomic.Uint64 // timeout-driven re-sends
-	Acked       atomic.Uint64 // pending entries retired by a sack
-	Sacks       atomic.Uint64 // cumulative acks transmitted
-	DupDropped  atomic.Uint64 // duplicate arrivals suppressed
-	OutOfOrder  atomic.Uint64 // arrivals buffered for reordering
-	SendRNR     atomic.Uint64 // sends refused by the fabric (retried later)
-}
-
-// ReliabilitySnapshot is a point-in-time copy of ReliabilityStats.
+// ReliabilitySnapshot is a point-in-time copy of the sublayer's counters,
+// read from its observability sink (obs.CtrRel*).
 type ReliabilitySnapshot struct {
-	Sent        uint64
-	Retransmits uint64
-	Acked       uint64
-	Sacks       uint64
-	DupDropped  uint64
-	OutOfOrder  uint64
-	SendRNR     uint64
+	Sent        uint64 // reliable messages first-sent
+	Retransmits uint64 // timeout-driven re-sends
+	Acked       uint64 // pending entries retired by a sack
+	Sacks       uint64 // cumulative acks transmitted
+	DupDropped  uint64 // duplicate arrivals suppressed
+	OutOfOrder  uint64 // arrivals buffered for reordering
+	SendRNR     uint64 // sends refused by the fabric (retried later)
 }
 
-// Snapshot copies the counters.
-func (s *ReliabilityStats) Snapshot() ReliabilitySnapshot {
+// snapshot reads the sublayer's counters out of its sink.
+func (rel *reliability) snapshot() ReliabilitySnapshot {
+	c := &rel.obs.Counters
 	return ReliabilitySnapshot{
-		Sent:        s.Sent.Load(),
-		Retransmits: s.Retransmits.Load(),
-		Acked:       s.Acked.Load(),
-		Sacks:       s.Sacks.Load(),
-		DupDropped:  s.DupDropped.Load(),
-		OutOfOrder:  s.OutOfOrder.Load(),
-		SendRNR:     s.SendRNR.Load(),
+		Sent:        c.Load(obs.CtrRelSent),
+		Retransmits: c.Load(obs.CtrRelRetransmits),
+		Acked:       c.Load(obs.CtrRelAcked),
+		Sacks:       c.Load(obs.CtrRelSacks),
+		DupDropped:  c.Load(obs.CtrRelDupDropped),
+		OutOfOrder:  c.Load(obs.CtrRelOutOfOrder),
+		SendRNR:     c.Load(obs.CtrRelSendRNR),
 	}
 }
 
@@ -119,17 +122,24 @@ func (s ReliabilitySnapshot) Add(t ReliabilitySnapshot) ReliabilitySnapshot {
 	return s
 }
 
-func newReliability(p *Proc, timeout time.Duration) *reliability {
+// newReliabilityCore builds the sublayer's state machine for n peers with
+// all seams at their test defaults: wall clock, no transport, a private
+// counters-only sink, and plain make/discard buffer management. Unit tests
+// use it directly and bind xmit/xmitControl/now to fakes.
+func newReliabilityCore(n int, timeout time.Duration) *reliability {
 	if timeout <= 0 {
 		timeout = 2 * time.Millisecond
 	}
 	rel := &reliability{
-		p:           p,
-		sends:       make([]relSend, p.n),
-		recvs:       make([]relRecv, p.n),
-		sackDirty:   make([]bool, p.n),
+		sends:       make([]relSend, n),
+		recvs:       make([]relRecv, n),
+		sackDirty:   make([]bool, n),
 		retxTimeout: timeout,
 		retxMax:     16 * timeout,
+		now:         time.Now,
+		getBuf:      func(n int) []byte { return make([]byte, n) },
+		putBuf:      func([]byte) {},
+		obs:         obs.New(obs.Options{}),
 		stop:        make(chan struct{}),
 	}
 	for i := range rel.sends {
@@ -137,6 +147,30 @@ func newReliability(p *Proc, timeout time.Duration) *reliability {
 	}
 	for i := range rel.recvs {
 		rel.recvs[i].buffered = make(map[uint32]rdma.Completion)
+	}
+	return rel
+}
+
+func newReliability(p *Proc, timeout time.Duration) *reliability {
+	rel := newReliabilityCore(p.n, timeout)
+	rel.p = p
+	rel.xmit = func(dst int, wire []byte) error {
+		return p.sendQP[dst].Send(wire, 0, 0)
+	}
+	rel.xmitControl = func(dst int, wire []byte) error {
+		return p.sendQP[dst].SendControl(wire, 0, 0)
+	}
+	rel.getBuf = func(n int) []byte {
+		bp := p.w.stagebufs.Get().(*[]byte)
+		keep := *bp
+		if cap(keep) < n {
+			return make([]byte, n)
+		}
+		return keep[:n]
+	}
+	rel.putBuf = func(buf []byte) {
+		b := buf[:0]
+		p.w.stagebufs.Put(&b)
 	}
 	return rel
 }
@@ -173,27 +207,21 @@ func (rel *reliability) send(dst int, wire []byte) error {
 	putSeq(wire, seq)
 
 	// Retain a pool-backed copy until the ack arrives.
-	bp := rel.p.w.stagebufs.Get().(*[]byte)
-	keep := *bp
-	if cap(keep) < len(wire) {
-		keep = make([]byte, len(wire))
-	} else {
-		keep = keep[:len(wire)]
-	}
+	keep := rel.getBuf(len(wire))
 	copy(keep, wire)
 	s.pending[seq] = &relPending{
 		wire:     keep,
-		deadline: time.Now().Add(rel.retxTimeout),
+		deadline: rel.now().Add(rel.retxTimeout),
 		backoff:  rel.retxTimeout,
 	}
 
 	// First transmission attempt, inside the lock so the per-QP wire
 	// order (and thus the fault schedule) follows sequence order.
-	err := rel.p.sendQP[dst].Send(wire, 0, 0)
+	err := rel.xmit(dst, wire)
 	s.mu.Unlock()
-	rel.stats.Sent.Add(1)
+	rel.obs.Counters.Inc(obs.CtrRelSent)
 	if err == rdma.ErrNoReceive {
-		rel.stats.SendRNR.Add(1)
+		rel.obs.Counters.Inc(obs.CtrRelSendRNR)
 		err = nil
 	}
 	if err == rdma.ErrClosed {
@@ -221,26 +249,45 @@ func (rel *reliability) retransmitLoop() {
 		case <-rel.stop:
 			return
 		case now := <-tick.C:
-			for dst := range rel.sends {
-				s := &rel.sends[dst]
-				s.mu.Lock()
-				for _, pe := range s.pending {
-					if now.Before(pe.deadline) {
-						continue
-					}
-					if err := rel.p.sendQP[dst].Send(pe.wire, 0, 0); err == rdma.ErrNoReceive {
-						rel.stats.SendRNR.Add(1)
-					}
-					rel.stats.Retransmits.Add(1)
-					pe.backoff *= 2
-					if pe.backoff > rel.retxMax {
-						pe.backoff = rel.retxMax
-					}
-					pe.deadline = now.Add(pe.backoff)
-				}
-				s.mu.Unlock()
+			rel.scanRetransmits(now)
+		}
+	}
+}
+
+// scanRetransmits is one retransmit-timer pass at time now: every pending
+// entry whose deadline has passed is re-sent and its backoff doubles, up to
+// the retxMax cap. Factored out of retransmitLoop so the fake-clock tests
+// drive the timer directly. Overdue entries are re-sent in sequence order
+// (not map order) so the retransmit schedule is fully deterministic.
+func (rel *reliability) scanRetransmits(now time.Time) {
+	var seqs []uint32
+	for dst := range rel.sends {
+		s := &rel.sends[dst]
+		s.mu.Lock()
+		seqs = seqs[:0]
+		for seq, pe := range s.pending {
+			if !now.Before(pe.deadline) {
+				seqs = append(seqs, seq)
 			}
 		}
+		sort.Slice(seqs, func(i, j int) bool { return seqBefore(seqs[i], seqs[j]) })
+		for _, seq := range seqs {
+			pe := s.pending[seq]
+			if err := rel.xmit(dst, pe.wire); err == rdma.ErrNoReceive {
+				rel.obs.Counters.Inc(obs.CtrRelSendRNR)
+			}
+			rel.obs.Counters.Inc(obs.CtrRelRetransmits)
+			pe.backoff *= 2
+			if pe.backoff > rel.retxMax {
+				pe.backoff = rel.retxMax
+			}
+			pe.deadline = now.Add(pe.backoff)
+			rel.obs.Observe(obs.HistRetxBackoffNs, uint64(pe.backoff))
+			if rel.obs.Enabled() {
+				rel.obs.Event(obs.EvRetransmit, dst, uint64(dst), uint64(seq), uint64(pe.backoff))
+			}
+		}
+		s.mu.Unlock()
 	}
 }
 
@@ -251,16 +298,20 @@ func (rel *reliability) handleSack(h header) {
 		return
 	}
 	s := &rel.sends[dst]
+	var retired uint64
 	s.mu.Lock()
 	for seq, pe := range s.pending {
 		if seqBefore(seq, h.seq) {
-			buf := pe.wire[:0]
-			rel.p.w.stagebufs.Put(&buf)
+			rel.putBuf(pe.wire)
 			delete(s.pending, seq)
-			rel.stats.Acked.Add(1)
+			retired++
 		}
 	}
 	s.mu.Unlock()
+	rel.obs.Counters.Add(obs.CtrRelAcked, retired)
+	if retired > 0 && rel.obs.Enabled() {
+		rel.obs.Event(obs.EvAck, dst, uint64(dst), uint64(h.seq), retired)
+	}
 }
 
 // run is the receive filter: it drains the raw fabric CQ, repairs the
@@ -329,19 +380,29 @@ func (rel *reliability) admit(h header, c rdma.Completion) {
 		// Future sequence: hold the bounce buffer until the gap fills.
 		// A retransmission may duplicate a buffered message; drop those.
 		if _, dup := r.buffered[h.seq]; dup {
-			rel.stats.DupDropped.Add(1)
+			rel.repair(obs.CtrRelDupDropped, src, h.seq, 0)
 			rel.p.repost(c.Data)
 		} else {
-			rel.stats.OutOfOrder.Add(1)
+			rel.repair(obs.CtrRelOutOfOrder, src, h.seq, 1)
 			r.buffered[h.seq] = c
 		}
 	default:
 		// Already delivered: a duplicate or a retransmission that crossed
 		// our sack. Re-ack so the sender stops retransmitting.
-		rel.stats.DupDropped.Add(1)
+		rel.repair(obs.CtrRelDupDropped, src, h.seq, 0)
 		rel.p.repost(c.Data)
 	}
 	rel.sackDirty[src] = true
+}
+
+// repair tallies one stream repair and, when tracing, records an
+// EvFaultRepair event (code 0 = duplicate dropped, 1 = buffered
+// out-of-order).
+func (rel *reliability) repair(ctr obs.Counter, src int, seq uint32, code uint64) {
+	rel.obs.Counters.Inc(ctr)
+	if rel.obs.Enabled() {
+		rel.obs.Event(obs.EvFaultRepair, src, uint64(src), uint64(seq), code)
+	}
 }
 
 // flushSacks sends one cumulative ack to every source that had traffic in
@@ -356,7 +417,7 @@ func (rel *reliability) flushSacks() {
 		rel.sackDirty[src] = false
 		h := header{kind: kindSack, src: int32(rel.p.rank), seq: rel.recvs[src].expected}
 		h.encode(rel.sackBuf[:])
-		_ = rel.p.sendQP[src].SendControl(rel.sackBuf[:], 0, 0)
-		rel.stats.Sacks.Add(1)
+		_ = rel.xmitControl(src, rel.sackBuf[:])
+		rel.obs.Counters.Inc(obs.CtrRelSacks)
 	}
 }

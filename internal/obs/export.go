@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// WriteJSON writes the named sinks' counter/histogram snapshots as one
+// structured JSON document: {"sinks":[{name, counters, histograms, ...}]}.
+func WriteJSON(w io.Writer, sinks []Named) error {
+	doc := struct {
+		Sinks []Snapshot `json:"sinks"`
+	}{}
+	for _, ns := range sinks {
+		snap := ns.Sink.Snapshot()
+		snap.Name = ns.Name
+		doc.Sinks = append(doc.Sinks, snap)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// traceEvent is one Chrome trace_event record. The format is documented in
+// the Trace Event Format spec; chrome://tracing and Perfetto load a JSON
+// object carrying a traceEvents array of these.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// kindCat maps event kinds to Chrome trace categories.
+func kindCat(k Kind) string {
+	switch k {
+	case EvBlockLaunch, EvBlockBarrierExit, EvBlockSteal, EvBlockSettle,
+		EvBlockRetire, EvMatchFast, EvMatchSlow, EvUnexpectedPub, EvPostMatch:
+		return "match"
+	case EvCQDrain:
+		return "cq"
+	case EvFaultInject, EvFaultRepair, EvRetransmit, EvAck:
+		return "fault"
+	case EvAnalyzerShard, EvAnalyzerPhase:
+		return "analyzer"
+	}
+	return "obs"
+}
+
+// WriteTrace writes the named sinks' event rings as Chrome trace_event
+// JSON. Each sink becomes one pid (with a process_name metadata record);
+// each worker lane becomes a tid. Block lifecycles (EvBlockLaunch paired
+// with EvBlockRetire on the same block sequence) render as complete "X"
+// spans; every other record renders as a thread-scoped instant.
+func WriteTrace(w io.Writer, sinks []Named) error {
+	var evs []traceEvent
+	for pid, ns := range sinks {
+		evs = append(evs, traceEvent{
+			Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
+			Args: map[string]any{"name": ns.Name},
+		})
+		events := ns.Sink.Events()
+
+		// Pair launches with retires by block sequence to synthesize spans.
+		launches := make(map[uint64]Event)
+		for _, e := range events {
+			if e.Kind == EvBlockLaunch {
+				launches[e.A] = e
+			}
+		}
+		for _, e := range events {
+			ts := float64(e.Nano) / 1e3
+			switch e.Kind {
+			case EvBlockLaunch:
+				// Rendered by its retire (or dropped if the retire was
+				// overwritten — a partial span would mislead more than a gap).
+				continue
+			case EvBlockRetire:
+				if l, ok := launches[e.A]; ok {
+					evs = append(evs, traceEvent{
+						Name: fmt.Sprintf("block %d", e.A), Cat: "match", Ph: "X",
+						Ts: float64(l.Nano) / 1e3, Dur: float64(e.Nano-l.Nano) / 1e3,
+						Pid: pid, Tid: int(l.Worker),
+						Args: map[string]any{"messages": e.B, "block_ns": e.C},
+					})
+					continue
+				}
+				fallthrough
+			default:
+				evs = append(evs, traceEvent{
+					Name: e.Kind.String(), Cat: kindCat(e.Kind), Ph: "i",
+					Ts: ts, Pid: pid, Tid: int(e.Worker), S: "t",
+					Args: map[string]any{"a": e.A, "b": e.B, "c": e.C, "seq": e.Seq},
+				})
+			}
+		}
+	}
+	doc := struct {
+		TraceEvents     []traceEvent `json:"traceEvents"`
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+	}{TraceEvents: evs, DisplayTimeUnit: "ns"}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// WriteTraceFile writes a Chrome trace to path (see WriteTrace).
+func WriteTraceFile(path string, sinks []Named) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteTrace(f, sinks); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WriteJSONFile writes a stats snapshot to path (see WriteJSON).
+func WriteJSONFile(path string, sinks []Named) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteJSON(f, sinks); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// splitmix64 is a tiny deterministic PRNG step so the property inputs are
+// reproducible from quick's seed values alone.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// payloadC is the checksum relation every recorded event must satisfy: a
+// torn read (payload words from two different records) breaks it with
+// overwhelming probability.
+func payloadC(a, b uint64) uint64 {
+	return splitmix64(a ^ splitmix64(b) ^ 0xdeadbeefcafef00d)
+}
+
+// TestRingNoTornEventsQuick is the ISSUE's property test: under concurrent
+// writers overwriting a deliberately tiny ring, a concurrent snapshot may
+// observe any subset of the records — but never a torn one. Each writer
+// stamps events whose C word is a checksum of A and B; the readers verify
+// the relation on every event they see. Run with -race.
+func TestRingNoTornEventsQuick(t *testing.T) {
+	check := func(seed uint64, writerSel, sizeSel uint8) bool {
+		writers := 2 + int(writerSel%6) // 2..7 concurrent writers
+		ringSize := 8 << (sizeSel % 3)  // 8, 16, or 32 slots: wrap constantly
+		const perWriter = 400
+
+		s := New(Options{TraceEvents: ringSize, Rings: 2})
+		var wg sync.WaitGroup
+		tear := make(chan Event, 1)
+
+		// Readers snapshot continuously while writers race.
+		stop := make(chan struct{})
+		var readers sync.WaitGroup
+		for r := 0; r < 2; r++ {
+			readers.Add(1)
+			go func() {
+				defer readers.Done()
+				for {
+					for _, e := range s.Events() {
+						if e.C != payloadC(e.A, e.B) {
+							select {
+							case tear <- e:
+							default:
+							}
+						}
+					}
+					select {
+					case <-stop:
+						return
+					default:
+					}
+				}
+			}()
+		}
+
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				x := splitmix64(seed + uint64(w))
+				for i := 0; i < perWriter; i++ {
+					x = splitmix64(x)
+					a := x
+					b := splitmix64(x ^ uint64(i))
+					s.Event(Kind(uint64(i)%uint64(NumKinds)), w, a, b, payloadC(a, b))
+				}
+			}(w)
+		}
+		wg.Wait()
+		close(stop)
+		readers.Wait()
+
+		// One final quiescent sweep.
+		for _, e := range s.Events() {
+			if e.C != payloadC(e.A, e.B) {
+				select {
+				case tear <- e:
+				default:
+				}
+			}
+		}
+		select {
+		case e := <-tear:
+			t.Logf("torn event: %+v (want C=%#x)", e, payloadC(e.A, e.B))
+			return false
+		default:
+		}
+
+		// Accounting sanity: everything sent was either kept or counted as
+		// dropped, and the rings never hold more than their capacity.
+		rec, _ := s.Recorded()
+		if rec != uint64(writers*perWriter) {
+			t.Logf("recorded %d, want %d", rec, writers*perWriter)
+			return false
+		}
+		if n := len(s.Events()); n > 2*ringSizeRounded(ringSize) {
+			t.Logf("%d live events exceed ring capacity", n)
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 12}
+	if testing.Short() {
+		cfg.MaxCount = 3
+	}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ringSizeRounded mirrors New's round-up-to-power-of-two capacity rule.
+func ringSizeRounded(n int) int {
+	c := 1
+	for c < n {
+		c <<= 1
+	}
+	return c
+}

@@ -5,8 +5,9 @@ import (
 	"strconv"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // FaultRates is the per-QP fault model: independent probabilities applied
@@ -89,18 +90,8 @@ func (p FaultPlan) rates(id int) FaultRates {
 	return r
 }
 
-// FaultStats counts injected faults fabric-wide. All fields are updated
-// atomically; read them with the corresponding Load methods or via
-// Fabric.FaultStats, which returns a plain snapshot.
-type FaultStats struct {
-	Dropped    atomic.Uint64
-	Duplicated atomic.Uint64
-	Delayed    atomic.Uint64
-	RNRs       atomic.Uint64
-	Stalls     atomic.Uint64
-}
-
-// FaultSnapshot is a point-in-time copy of the fabric's fault counters.
+// FaultSnapshot is a point-in-time copy of the fabric's fault counters,
+// read from the fabric's observability sink (obs.CtrFault*).
 type FaultSnapshot struct {
 	Dropped    uint64
 	Duplicated uint64
@@ -127,12 +118,13 @@ func (f *Fabric) SetFaults(p FaultPlan) {
 
 // FaultStats returns a snapshot of the fault counters.
 func (f *Fabric) FaultStats() FaultSnapshot {
+	c := &f.obs.Counters
 	return FaultSnapshot{
-		Dropped:    f.fstats.Dropped.Load(),
-		Duplicated: f.fstats.Duplicated.Load(),
-		Delayed:    f.fstats.Delayed.Load(),
-		RNRs:       f.fstats.RNRs.Load(),
-		Stalls:     f.fstats.Stalls.Load(),
+		Dropped:    c.Load(obs.CtrFaultDropped),
+		Duplicated: c.Load(obs.CtrFaultDuplicated),
+		Delayed:    c.Load(obs.CtrFaultDelayed),
+		RNRs:       c.Load(obs.CtrFaultRNR),
+		Stalls:     c.Load(obs.CtrFaultStalls),
 	}
 }
 
@@ -151,7 +143,8 @@ func (f *Fabric) newInjector(id int) *injector {
 	return &injector{
 		rates: r,
 		rng:   splitmix64(f.faults.Seed ^ (uint64(id)+1)*0x9E3779B97F4A7C15),
-		stats: &f.fstats,
+		obs:   f.obs,
+		qp:    id,
 	}
 }
 
@@ -161,7 +154,8 @@ func (f *Fabric) newInjector(id int) *injector {
 // lock, so concurrent senders serialize into one reproducible stream.
 type injector struct {
 	rates FaultRates
-	stats *FaultStats
+	obs   *obs.Sink
+	qp    int
 
 	mu  sync.Mutex
 	rng uint64
@@ -180,6 +174,24 @@ func splitmix64(x uint64) uint64 {
 	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
 	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
 	return z ^ (z >> 31)
+}
+
+// Fault codes carried by EvFaultInject events (B payload word).
+const (
+	faultCodeDrop uint64 = iota
+	faultCodeDup
+	faultCodeDelay
+	faultCodeRNR
+	faultCodeStall
+)
+
+// note tallies one injected fault on counter ctr and, when the fabric sink
+// is tracing, records an EvFaultInject event keyed by the QP id.
+func (in *injector) note(ctr obs.Counter, code uint64) {
+	in.obs.Counters.Inc(ctr)
+	if in.obs.Enabled() {
+		in.obs.Event(obs.EvFaultInject, in.qp, uint64(in.qp), code, 0)
+	}
 }
 
 // next draws a uniform float64 in [0, 1).

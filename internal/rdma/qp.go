@@ -2,6 +2,8 @@ package rdma
 
 import (
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // wireMsg is a two-sided message in flight.
@@ -135,11 +137,11 @@ func (q *QP) sendFaulty(data []byte, imm uint32, wrID uint64) error {
 		// Receiver-not-ready NAK: the message never left; no completion.
 		q.releaseHeld()
 		in.mu.Unlock()
-		in.stats.RNRs.Add(1)
+		in.note(obs.CtrFaultRNR, faultCodeRNR)
 		return ErrNoReceive
 	}
 	if d.stall {
-		in.stats.Stalls.Add(1)
+		in.note(obs.CtrFaultStalls, faultCodeStall)
 		charge(in.rates.StallTime) // CQ backpressure stalls the pipeline
 	}
 	switch {
@@ -148,7 +150,7 @@ func (q *QP) sendFaulty(data []byte, imm uint32, wrID uint64) error {
 		// sees a send completion, the receiver sees nothing.
 		q.releaseHeld()
 		in.mu.Unlock()
-		in.stats.Dropped.Add(1)
+		in.note(obs.CtrFaultDropped, faultCodeDrop)
 		q.completeSend(wrID, len(data), imm)
 		return nil
 	case d.delay && in.held == nil:
@@ -156,21 +158,21 @@ func (q *QP) sendFaulty(data []byte, imm uint32, wrID uint64) error {
 		in.held = &wireMsg{data: q.fabric.wireCopy(data), imm: imm}
 		in.heldSpan = in.rates.DelaySpan
 		in.mu.Unlock()
-		in.stats.Delayed.Add(1)
+		in.note(obs.CtrFaultDelayed, faultCodeDelay)
 		q.completeSend(wrID, len(data), imm)
 		return nil
 	}
 	msg := wireMsg{data: q.fabric.wireCopy(data), imm: imm}
 	if !q.enqueue(msg) {
 		in.mu.Unlock()
-		in.stats.RNRs.Add(1)
+		in.note(obs.CtrFaultRNR, faultCodeRNR)
 		return ErrNoReceive // wire full: surfaced instead of blocking
 	}
 	if d.dup {
 		// A retransmission race delivers the message twice; if the wire
 		// is full the duplicate is simply lost.
 		if q.enqueue(wireMsg{data: q.fabric.wireCopy(data), imm: imm}) {
-			in.stats.Duplicated.Add(1)
+			in.note(obs.CtrFaultDuplicated, faultCodeDup)
 		}
 	}
 	q.releaseHeld()
@@ -195,7 +197,7 @@ func (q *QP) releaseHeld() {
 	msg := *in.held
 	in.held = nil
 	if !q.enqueue(msg) {
-		in.stats.Dropped.Add(1)
+		in.note(obs.CtrFaultDropped, faultCodeDrop)
 	}
 }
 

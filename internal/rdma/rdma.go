@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Errors returned by fabric operations.
@@ -91,12 +93,15 @@ type Fabric struct {
 	cost    Cost
 
 	// Fault injection (fault.go): the installed plan, a fast activity
-	// flag, the fabric-wide counters, and the QP-creation counter that
-	// keys per-QP rate overrides and decision streams.
+	// flag, and the QP-creation counter that keys per-QP rate overrides
+	// and decision streams. Fault tallies live in the fabric's obs sink.
 	faults   FaultPlan
 	faultsOn bool
-	fstats   FaultStats
 	nextQP   int
+
+	// obs is the fabric's observability domain (fault-injection counters
+	// and events). Always non-nil; SetObs swaps in a shared/tracing sink.
+	obs *obs.Sink
 
 	// wirePool recycles the in-flight copies QP.Send stages: a wire buffer
 	// lives only from Send until the peer's delivery engine copies it into
@@ -124,8 +129,23 @@ func (f *Fabric) wireRecycle(buf []byte) {
 
 // NewFabric returns an empty fabric with free operations.
 func NewFabric() *Fabric {
-	return &Fabric{mrs: make(map[uint64]*MemoryRegion), nextKey: 1}
+	return &Fabric{
+		mrs:     make(map[uint64]*MemoryRegion),
+		nextKey: 1,
+		obs:     obs.New(obs.Options{}),
+	}
 }
+
+// SetObs replaces the fabric's observability sink (e.g. with a tracing
+// one). Call before ConnectPair: injectors capture the sink at creation.
+func (f *Fabric) SetObs(s *obs.Sink) {
+	if s != nil {
+		f.obs = s
+	}
+}
+
+// Obs returns the fabric's observability sink.
+func (f *Fabric) Obs() *obs.Sink { return f.obs }
 
 // SetCost installs the latency model. Call before traffic starts.
 func (f *Fabric) SetCost(c Cost) { f.cost = c }

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/rdma"
 	"repro/internal/trace"
 )
@@ -28,6 +29,8 @@ type Config struct {
 	// matching behaviour, not bandwidth.
 	MaxMessageBytes int
 	// Options overrides the world options; Engine above takes precedence.
+	// Options.Obs configures observability (set TraceEvents for event
+	// tracing); the world's sinks land in Result.Sinks either way.
 	Options mpi.Options
 }
 
@@ -61,6 +64,9 @@ type Result struct {
 	// when the world ran under an active rdma.FaultPlan.
 	Faults      rdma.FaultSnapshot
 	Reliability mpi.ReliabilitySnapshot
+	// Sinks are the world's observability sinks (one per rank plus the
+	// fabric), captured before teardown for stats/trace export.
+	Sinks []obs.Named
 }
 
 // String renders a one-line summary.
@@ -104,6 +110,10 @@ func Run(t *trace.Trace, cfg Config) (*Result, error) {
 		}
 	}
 	res.Elapsed = time.Since(start)
+	// Quiesce before reading stats: Close waits for the engines' in-flight
+	// blocks to retire, so counters like Retires have settled (the deferred
+	// Close above is a no-op after this).
+	w.Close()
 	for i := range counts {
 		res.Sends += counts[i].Sends
 		res.Recvs += counts[i].Recvs
@@ -111,6 +121,7 @@ func Run(t *trace.Trace, cfg Config) (*Result, error) {
 	}
 	res.Faults = w.FaultStats()
 	res.Reliability = w.ReliabilityStats()
+	res.Sinks = w.ObsSinks()
 	for r := 0; r < n; r++ {
 		if m := w.Proc(r).Matcher(); m != nil {
 			st := m.Stats()
@@ -121,6 +132,10 @@ func Run(t *trace.Trace, cfg Config) (*Result, error) {
 			res.Matcher.FastPath += st.FastPath
 			res.Matcher.SlowPath += st.SlowPath
 			res.Matcher.Unexpected += st.Unexpected
+			res.Matcher.Relaxed += st.Relaxed
+			res.Matcher.Revalidated += st.Revalidated
+			res.Matcher.Steals += st.Steals
+			res.Matcher.Retires += st.Retires
 		}
 	}
 	return res, nil
