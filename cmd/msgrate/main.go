@@ -7,11 +7,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math/bits"
 	"os"
 	"runtime"
 	"runtime/pprof"
 
 	"repro/internal/bench"
+	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/rdma"
 )
@@ -31,21 +33,38 @@ func writeProfile(name, path string) {
 
 func main() {
 	var (
-		k          = flag.Int("k", 100, "messages per sequence (paper: 100)")
-		reps       = flag.Int("reps", 500, "sequence repetitions (paper: 500)")
-		payload    = flag.Int("payload", 8, "eager payload bytes")
-		threads    = flag.Int("threads", 32, "DPA threads (paper: 32)")
-		inflight   = flag.Int("inflight", 1, "in-flight matching blocks K, 1..8 (1 = paper's serial stream)")
-		modeled    = flag.Bool("modeled", false, "report cost-model rates (core-count independent) instead of wall clock")
-		faults     = flag.String("faults", "", "deterministic fault plan, e.g. seed=1,drop=0.05,dup=0.02,delay=0.01,rnr=0.01")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
-		mutexprof  = flag.String("mutexprofile", "", "write a mutex contention profile to this file on exit")
-		blockprof  = flag.String("blockprofile", "", "write a goroutine blocking profile to this file on exit")
-		traceOut   = flag.String("trace-out", "", "write a Chrome trace_event JSON (chrome://tracing, Perfetto) to this file")
-		statsJSON  = flag.String("stats-json", "", "write observability counter/histogram snapshots as JSON to this file")
+		k             = flag.Int("k", 100, "messages per sequence (paper: 100)")
+		reps          = flag.Int("reps", 500, "sequence repetitions (paper: 500)")
+		payload       = flag.Int("payload", 8, "eager payload bytes")
+		threads       = flag.Int("threads", 32, "DPA threads (paper: 32)")
+		inflight      = flag.Int("inflight", 1, "in-flight matching blocks K, 1..8 (1 = paper's serial stream)")
+		bins          = flag.Int("bins", 2048, "hash-table bins (power of two)")
+		coalesceBytes = flag.Int("coalesce-bytes", 0, "eager-coalescing byte threshold (0 = off)")
+		coalesceMsgs  = flag.Int("coalesce-msgs", 0, "eager-coalescing message-count threshold (0 = off, 1 = off)")
+		modeled       = flag.Bool("modeled", false, "report cost-model rates (core-count independent) instead of wall clock")
+		faults        = flag.String("faults", "", "deterministic fault plan, e.g. seed=1,drop=0.05,dup=0.02,delay=0.01,rnr=0.01")
+		benchJSON     = flag.String("bench-json", "", "write machine-readable results ("+bench.BenchSchema+") to this file")
+		cpuprofile    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile    = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		mutexprof     = flag.String("mutexprofile", "", "write a mutex contention profile to this file on exit")
+		blockprof     = flag.String("blockprofile", "", "write a goroutine blocking profile to this file on exit")
+		traceOut      = flag.String("trace-out", "", "write a Chrome trace_event JSON (chrome://tracing, Perfetto) to this file")
+		statsJSON     = flag.String("stats-json", "", "write observability counter/histogram snapshots as JSON to this file")
 	)
 	flag.Parse()
+
+	if *inflight < 1 || *inflight > core.MaxInFlightBlocks {
+		fmt.Fprintf(os.Stderr, "msgrate: -inflight %d outside [1,%d]\n", *inflight, core.MaxInFlightBlocks)
+		os.Exit(2)
+	}
+	if *bins < 1 || bits.OnesCount(uint(*bins)) != 1 {
+		fmt.Fprintf(os.Stderr, "msgrate: -bins %d must be a power of two >= 1\n", *bins)
+		os.Exit(2)
+	}
+	if *coalesceBytes < 0 || *coalesceMsgs < 0 {
+		fmt.Fprintf(os.Stderr, "msgrate: coalescing thresholds must be >= 0\n")
+		os.Exit(2)
+	}
 
 	plan, err := rdma.ParseFaultPlan(*faults)
 	if err != nil {
@@ -89,25 +108,54 @@ func main() {
 		defer writeProfile("block", *blockprof)
 	}
 
+	doc := &bench.BenchDoc{
+		Config: bench.BenchConfig{
+			K: *k, Reps: *reps, PayloadBytes: *payload, Threads: *threads,
+			InFlight: *inflight, CoalesceBytes: *coalesceBytes, CoalesceMsgs: *coalesceMsgs,
+			Faults: *faults, Modeled: *modeled,
+		},
+	}
+	writeBench := func() {
+		if *benchJSON == "" {
+			return
+		}
+		if err := bench.WriteBenchJSON(*benchJSON, doc); err != nil {
+			fmt.Fprintf(os.Stderr, "msgrate: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote bench results to %s\n", *benchJSON)
+	}
+
 	if *modeled {
 		cm := bench.DefaultCostModel()
 		cm.Threads = *threads
 		cm.InFlight = *inflight
-		fmt.Printf("Figure 8 (modeled) — pipeline-bottleneck rates from counted engine work, %d DPA threads, %d in-flight block(s)\n\n",
+		fmt.Printf("Figure 8 (modeled) — pipeline-bottleneck rates from counted engine work, %d DPA threads, %d in-flight block(s)",
 			*threads, *inflight)
-		rates, err := bench.RunModeledFigure8(cm, *k, min(*reps, 50))
+		if *coalesceBytes > 0 || *coalesceMsgs > 1 {
+			fmt.Printf(", coalescing %dB/%d msgs", *coalesceBytes, *coalesceMsgs)
+		}
+		fmt.Print("\n\n")
+		rates, err := bench.RunModeledFigure8(cm, *k, min(*reps, 50), *coalesceBytes, *coalesceMsgs)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "msgrate: %v\n", err)
 			os.Exit(1)
 		}
 		for _, r := range rates {
 			fmt.Println(r)
+			doc.Results = append(doc.Results, bench.BenchEntry{
+				Label: r.Label, MsgPerSec: r.MsgPerSec, NSPerMsg: r.NSPerMsg,
+			})
 		}
+		writeBench()
 		return
 	}
 
 	fmt.Printf("Figure 8 — message rate: k=%d, reps=%d, payload=%dB, %d DPA threads, %d in-flight block(s)\n",
 		*k, *reps, *payload, *threads, *inflight)
+	if *coalesceBytes > 0 || *coalesceMsgs > 1 {
+		fmt.Printf("eager coalescing: %d bytes / %d msgs per frame\n", *coalesceBytes, *coalesceMsgs)
+	}
 	if plan.Active() {
 		fmt.Printf("fault plan: %s\n", *faults)
 	}
@@ -119,20 +167,36 @@ func main() {
 	}
 
 	var sinks []obs.Named
+	var ms runtime.MemStats
 	for _, cfg := range bench.Figure8Scenarios() {
 		cfg.K = *k
 		cfg.Reps = *reps
 		cfg.PayloadBytes = *payload
 		cfg.Threads = *threads
 		cfg.InFlight = *inflight
+		if *bins != 2048 {
+			if cfg.Matcher == (core.Config{}) {
+				cfg.Matcher = bench.PaperMatcherConfig()
+			}
+			cfg.Matcher.Bins = *bins
+		}
+		cfg.CoalesceBytes = *coalesceBytes
+		cfg.CoalesceMsgs = *coalesceMsgs
 		cfg.Faults = plan
 		cfg.Obs = obsOpts
+		runtime.ReadMemStats(&ms)
+		allocsBefore := ms.Mallocs
 		res, err := bench.RunMsgRate(cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "msgrate: %s: %v\n", cfg.Label, err)
 			os.Exit(1)
 		}
+		runtime.ReadMemStats(&ms)
+		allocsPerMsg := float64(ms.Mallocs-allocsBefore) / float64(res.Messages)
 		fmt.Println(res)
+		if res.BatchWidth > 0 {
+			fmt.Printf("%-22s %12s mean batch width %.1f msgs/frame\n", "", "", res.BatchWidth)
+		}
 		if st := res.MatchStats; st.Messages > 0 {
 			fmt.Printf("%-22s %12s blocks=%d optimistic=%d conflicts=%d fast=%d slow=%d unexpected=%d\n",
 				"", "", st.Blocks, st.Optimistic, st.Conflicts, st.FastPath, st.SlowPath, st.Unexpected)
@@ -144,6 +208,15 @@ func main() {
 				res.Reliability.OutOfOrder, res.Reliability.Sacks, res.Reliability.SendRNR)
 		}
 		sinks = append(sinks, res.Sinks...)
+		doc.Results = append(doc.Results, bench.BenchEntry{
+			Label:        res.Label,
+			Engine:       res.Engine.String(),
+			MsgPerSec:    res.MsgPerSec,
+			Messages:     res.Messages,
+			ElapsedNS:    res.Elapsed.Nanoseconds(),
+			BatchWidth:   res.BatchWidth,
+			AllocsPerMsg: allocsPerMsg,
+		})
 	}
 
 	if *traceOut != "" {
@@ -160,4 +233,5 @@ func main() {
 		}
 		fmt.Printf("wrote observability snapshot to %s\n", *statsJSON)
 	}
+	writeBench()
 }

@@ -5,10 +5,14 @@
 // non-negative timestamps — and exits non-zero on the first violation, so
 // CI can smoke-test trace production without a browser.
 //
+// With -bench it instead validates a msgrate -bench-json results document
+// against the repro/msgrate-bench/v1 schema.
+//
 // Usage:
 //
 //	obscheck trace.json
 //	obscheck -min-events 10 trace.json
+//	obscheck -bench BENCH_msgrate.json
 package main
 
 import (
@@ -16,6 +20,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+
+	"repro/internal/bench"
 )
 
 // event mirrors the subset of the trace_event record schema obscheck
@@ -43,12 +49,24 @@ var knownPhases = map[string]bool{
 
 func main() {
 	minEvents := flag.Int("min-events", 1, "fail unless the trace holds at least this many non-metadata events")
+	benchMode := flag.Bool("bench", false, "validate a msgrate -bench-json document instead of a Chrome trace")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: obscheck [-min-events N] trace.json")
+		fmt.Fprintln(os.Stderr, "usage: obscheck [-min-events N] trace.json | obscheck -bench bench.json")
 		os.Exit(2)
 	}
 	path := flag.Arg(0)
+
+	if *benchMode {
+		doc, err := bench.ReadBenchJSON(path)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: ok — %s, %d results (k=%d reps=%d coalesce=%dB/%d)\n",
+			path, doc.Schema, len(doc.Results), doc.Config.K, doc.Config.Reps,
+			doc.Config.CoalesceBytes, doc.Config.CoalesceMsgs)
+		return
+	}
 
 	data, err := os.ReadFile(path)
 	if err != nil {

@@ -12,8 +12,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math/bits"
 	"os"
 
+	"repro/internal/core"
 	"repro/internal/mpi"
 	"repro/internal/obs"
 	"repro/internal/rdma"
@@ -24,15 +26,32 @@ import (
 
 func main() {
 	var (
-		appName   = flag.String("app", "AMG", "application name (Table II)")
-		dir       = flag.String("dir", "", "DUMPI trace directory (default: synthetic generator)")
-		engine    = flag.String("engine", "offload", "matching engine: offload | host | raw")
-		scale     = flag.Int("scale", 25, "synthetic generation scale percentage")
-		faults    = flag.String("faults", "", "deterministic fault plan, e.g. seed=1,drop=0.05,dup=0.02")
-		traceOut  = flag.String("trace-out", "", "write a Chrome trace_event JSON (chrome://tracing, Perfetto) to this file")
-		statsJSON = flag.String("stats-json", "", "write observability counter/histogram snapshots as JSON to this file")
+		appName       = flag.String("app", "AMG", "application name (Table II)")
+		dir           = flag.String("dir", "", "DUMPI trace directory (default: synthetic generator)")
+		engine        = flag.String("engine", "offload", "matching engine: offload | host | raw")
+		scale         = flag.Int("scale", 25, "synthetic generation scale percentage")
+		inflight      = flag.Int("inflight", 1, "in-flight matching blocks K, 1..8")
+		bins          = flag.Int("bins", 256, "hash-table bins (power of two)")
+		coalesceBytes = flag.Int("coalesce-bytes", 0, "eager-coalescing byte threshold (0 = off)")
+		coalesceMsgs  = flag.Int("coalesce-msgs", 0, "eager-coalescing message-count threshold (0 = off, 1 = off)")
+		faults        = flag.String("faults", "", "deterministic fault plan, e.g. seed=1,drop=0.05,dup=0.02")
+		traceOut      = flag.String("trace-out", "", "write a Chrome trace_event JSON (chrome://tracing, Perfetto) to this file")
+		statsJSON     = flag.String("stats-json", "", "write observability counter/histogram snapshots as JSON to this file")
 	)
 	flag.Parse()
+
+	if *inflight < 1 || *inflight > core.MaxInFlightBlocks {
+		fmt.Fprintf(os.Stderr, "replay: -inflight %d outside [1,%d]\n", *inflight, core.MaxInFlightBlocks)
+		os.Exit(2)
+	}
+	if *bins < 1 || bits.OnesCount(uint(*bins)) != 1 {
+		fmt.Fprintf(os.Stderr, "replay: -bins %d must be a power of two >= 1\n", *bins)
+		os.Exit(2)
+	}
+	if *coalesceBytes < 0 || *coalesceMsgs < 0 {
+		fmt.Fprintf(os.Stderr, "replay: coalescing thresholds must be >= 0\n")
+		os.Exit(2)
+	}
 
 	plan, err := rdma.ParseFaultPlan(*faults)
 	if err != nil {
@@ -68,6 +87,13 @@ func main() {
 		tr.App, tr.NumRanks(), tr.NumEvents(), kind)
 	cfg := replay.Config{Engine: kind}
 	cfg.Options.Faults = plan
+	cfg.Options.Matcher = core.Config{
+		Bins: *bins, MaxReceives: 4096, BlockSize: 8,
+		InFlightBlocks:    *inflight,
+		EarlyBookingCheck: true, LazyRemoval: true, UseInlineHashes: true,
+	}
+	cfg.Options.CoalesceBytes = *coalesceBytes
+	cfg.Options.CoalesceMsgs = *coalesceMsgs
 	if *traceOut != "" {
 		cfg.Options.Obs = cfg.Options.Obs.Tracing()
 	}
@@ -76,6 +102,16 @@ func main() {
 		fatal(err)
 	}
 	fmt.Println(res)
+	var frames, coalesced uint64
+	for _, s := range res.Sinks {
+		h := s.Sink.Hist(obs.HistCoalesceWidth)
+		frames += h.Count
+		coalesced += h.Sum
+	}
+	if frames > 0 {
+		fmt.Printf("eager coalescing: %d messages in %d frames (mean width %.1f)\n",
+			coalesced, frames, float64(coalesced)/float64(frames))
+	}
 	if res.Matcher.Messages > 0 {
 		m := res.Matcher
 		fmt.Printf("offloaded matching: %d msgs in %d blocks; %d optimistic, %d conflicts (%d fast, %d slow), %d unexpected\n",

@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// BenchSchema identifies the machine-readable msgrate result format.
+// Consumers (cmd/obscheck -bench, CI artifact diffing) must reject
+// documents with any other schema string.
+const BenchSchema = "repro/msgrate-bench/v1"
+
+// BenchDoc is the -bench-json output of cmd/msgrate: the run configuration
+// plus one entry per scenario. The document is self-describing via Schema
+// so downstream tooling can hard-fail on format drift.
+type BenchDoc struct {
+	Schema  string       `json:"schema"`
+	Config  BenchConfig  `json:"config"`
+	Results []BenchEntry `json:"results"`
+}
+
+// BenchConfig records the knobs the run was taken under.
+type BenchConfig struct {
+	K             int    `json:"k"`
+	Reps          int    `json:"reps"`
+	PayloadBytes  int    `json:"payload_bytes"`
+	Threads       int    `json:"threads"`
+	InFlight      int    `json:"inflight"`
+	CoalesceBytes int    `json:"coalesce_bytes"`
+	CoalesceMsgs  int    `json:"coalesce_msgs"`
+	Faults        string `json:"faults,omitempty"`
+	Modeled       bool   `json:"modeled"`
+}
+
+// BenchEntry is one scenario's outcome. Wall-clock runs fill Messages /
+// ElapsedNS / AllocsPerMsg; modeled runs fill NSPerMsg instead and leave
+// ElapsedNS zero.
+type BenchEntry struct {
+	Label        string  `json:"label"`
+	Engine       string  `json:"engine,omitempty"`
+	MsgPerSec    float64 `json:"msg_per_sec"`
+	Messages     int     `json:"messages,omitempty"`
+	ElapsedNS    int64   `json:"elapsed_ns,omitempty"`
+	NSPerMsg     float64 `json:"ns_per_msg,omitempty"`
+	BatchWidth   float64 `json:"batch_width,omitempty"`
+	AllocsPerMsg float64 `json:"allocs_per_msg,omitempty"`
+}
+
+// Validate checks the structural invariants downstream tooling relies on.
+func (d *BenchDoc) Validate() error {
+	if d.Schema != BenchSchema {
+		return fmt.Errorf("bench: schema %q, want %q", d.Schema, BenchSchema)
+	}
+	if len(d.Results) == 0 {
+		return fmt.Errorf("bench: no results")
+	}
+	seen := make(map[string]bool, len(d.Results))
+	for i, r := range d.Results {
+		if r.Label == "" {
+			return fmt.Errorf("bench: results[%d]: missing label", i)
+		}
+		if seen[r.Label] {
+			return fmt.Errorf("bench: results[%d]: duplicate label %q", i, r.Label)
+		}
+		seen[r.Label] = true
+		if r.MsgPerSec <= 0 {
+			return fmt.Errorf("bench: results[%d] (%s): msg_per_sec %v, want > 0", i, r.Label, r.MsgPerSec)
+		}
+		if !d.Config.Modeled && r.ElapsedNS <= 0 {
+			return fmt.Errorf("bench: results[%d] (%s): wall-clock run without elapsed_ns", i, r.Label)
+		}
+		if r.BatchWidth < 0 || r.AllocsPerMsg < 0 || r.Messages < 0 {
+			return fmt.Errorf("bench: results[%d] (%s): negative metric", i, r.Label)
+		}
+	}
+	return nil
+}
+
+// WriteBenchJSON validates doc and writes it to path, indented.
+func WriteBenchJSON(path string, doc *BenchDoc) error {
+	doc.Schema = BenchSchema
+	if err := doc.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadBenchJSON loads and validates a -bench-json document.
+func ReadBenchJSON(path string) (*BenchDoc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc BenchDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: not valid JSON: %w", path, err)
+	}
+	if err := doc.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &doc, nil
+}

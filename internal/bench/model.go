@@ -25,6 +25,17 @@ type CostModel struct {
 	// WireNS is the per-message fabric/NIC pipeline occupancy, common to
 	// every configuration.
 	WireNS float64
+	// WireFrameNS is the per-frame fabric/NIC occupancy when eager
+	// coalescing batches messages into multi-message wire frames: the
+	// doorbell, descriptor, and CQE costs are paid once per frame and
+	// amortize over its width. PerMsgHeaderNS is the residual per-message
+	// cost inside a frame (sub-header bytes on the wire, sub-record parse).
+	// With BatchWidth <= 1 the wire stage is the classic WireNS.
+	WireFrameNS    float64
+	PerMsgHeaderNS float64
+	// BatchWidth is the mean messages per wire frame (a measured quantity:
+	// obs.HistCoalesceWidth Mean). 0 or 1 models coalescing off.
+	BatchWidth float64
 	// HostRecvNS is the host CPU's per-message receive path without any
 	// matching (the RDMA-CPU stage cost).
 	HostRecvNS float64
@@ -67,18 +78,20 @@ type CostModel struct {
 // MPI-CPU.
 func DefaultCostModel() CostModel {
 	return CostModel{
-		WireNS:       55,
-		HostRecvNS:   45,
-		HostMatchNS:  35,
-		HostProbeNS:  4,
-		DPAHandlerNS: 2400,
-		DPABarrierNS: 250,
-		DPAProbeNS:   90,
-		DPAFastNS:    700,
-		DPASlowNS:    800,
-		DPABlockNS:   800,
-		Threads:      32,
-		InFlight:     1,
+		WireNS:         55,
+		WireFrameNS:    50,
+		PerMsgHeaderNS: 5,
+		HostRecvNS:     45,
+		HostMatchNS:    35,
+		HostProbeNS:    4,
+		DPAHandlerNS:   2400,
+		DPABarrierNS:   250,
+		DPAProbeNS:     90,
+		DPAFastNS:      700,
+		DPASlowNS:      800,
+		DPABlockNS:     800,
+		Threads:        32,
+		InFlight:       1,
 	}
 }
 
@@ -93,6 +106,27 @@ type ModeledRate struct {
 // String renders one row.
 func (m ModeledRate) String() string {
 	return fmt.Sprintf("%-22s %12.0f msg/s  (%.0f ns/msg bottleneck)", m.Label, m.MsgPerSec, m.NSPerMsg)
+}
+
+// wireStage is the fabric occupancy per message. Coalescing replaces N
+// lone messages (N × WireNS) with one frame (WireFrameNS + N ×
+// PerMsgHeaderNS), so per message the stage shrinks toward PerMsgHeaderNS
+// as frames widen.
+func (cm CostModel) wireStage() float64 {
+	if cm.BatchWidth <= 1 {
+		return cm.WireNS
+	}
+	return cm.WireFrameNS/cm.BatchWidth + cm.PerMsgHeaderNS
+}
+
+// hostRecvStage is the host CPU's per-message receive-path cost. A frame
+// pays the CQE dispatch and header decode once; sub-records cost only
+// their parse.
+func (cm CostModel) hostRecvStage() float64 {
+	if cm.BatchWidth <= 1 {
+		return cm.HostRecvNS
+	}
+	return cm.HostRecvNS/cm.BatchWidth + cm.PerMsgHeaderNS
 }
 
 func rate(label string, stageNS ...float64) ModeledRate {
@@ -129,7 +163,7 @@ func (cm CostModel) ModelOffload(label string, st core.EngineStats, depth match.
 		probesPerMsg*cm.DPAProbeNS + fastPerMsg*cm.DPAFastNS) / threads
 	matchStage := parallelPerMsg + slowPerMsg*cm.DPASlowNS +
 		blocksPerMsg*cm.DPABlockNS/inflight
-	return rate(label, cm.WireNS, matchStage)
+	return rate(label, cm.wireStage(), matchStage)
 }
 
 // ModelHost computes the modeled rate of host list matching: the matching
@@ -140,8 +174,8 @@ func (cm CostModel) ModelHost(label string, depth match.Stats) ModeledRate {
 		return ModeledRate{Label: label}
 	}
 	probesPerMsg := float64(depth.ArriveTraversed) / msgs
-	stage := cm.HostRecvNS + cm.HostMatchNS + probesPerMsg*cm.HostProbeNS
-	return rate(label, cm.WireNS, stage)
+	stage := cm.hostRecvStage() + cm.HostMatchNS + probesPerMsg*cm.HostProbeNS
+	return rate(label, cm.wireStage(), stage)
 }
 
 // ModelRaw computes the no-matching reference.
@@ -149,27 +183,34 @@ func (cm CostModel) ModelRaw(label string, messages int) ModeledRate {
 	if messages == 0 {
 		return ModeledRate{Label: label}
 	}
-	return rate(label, cm.WireNS, cm.HostRecvNS)
+	return rate(label, cm.wireStage(), cm.hostRecvStage())
 }
 
 // RunModeledFigure8 executes the five Figure 8 scenarios (small wall-clock
 // runs to collect operation counts) and converts each to a modeled rate.
-func RunModeledFigure8(cm CostModel, k, reps int) ([]ModeledRate, error) {
+// Non-zero coalesceBytes/coalesceMsgs arm eager coalescing in the
+// measurement runs; each scenario is then modeled at its *achieved* mean
+// frame width (cm.BatchWidth is overridden per scenario from the measured
+// obs.HistCoalesceWidth).
+func RunModeledFigure8(cm CostModel, k, reps, coalesceBytes, coalesceMsgs int) ([]ModeledRate, error) {
 	out := make([]ModeledRate, 0, 5)
 	for _, cfg := range Figure8Scenarios() {
 		cfg.K, cfg.Reps, cfg.Threads = k, reps, cm.Threads
 		cfg.InFlight = cm.InFlight
+		cfg.CoalesceBytes, cfg.CoalesceMsgs = coalesceBytes, coalesceMsgs
 		res, err := RunMsgRate(cfg)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", cfg.Label, err)
 		}
+		scm := cm
+		scm.BatchWidth = res.BatchWidth
 		switch {
 		case res.MatchStats.Messages > 0:
-			out = append(out, cm.ModelOffload(cfg.Label, res.MatchStats, res.Depth))
+			out = append(out, scm.ModelOffload(cfg.Label, res.MatchStats, res.Depth))
 		case res.Depth.ArriveSearches > 0:
-			out = append(out, cm.ModelHost(cfg.Label, res.Depth))
+			out = append(out, scm.ModelHost(cfg.Label, res.Depth))
 		default:
-			out = append(out, cm.ModelRaw(cfg.Label, res.Messages))
+			out = append(out, scm.ModelRaw(cfg.Label, res.Messages))
 		}
 	}
 	return out, nil

@@ -41,6 +41,12 @@ type MsgRateConfig struct {
 	// fill raises Threads to K×BlockSize (capped at the DPA maximum) so
 	// every in-flight handler activation can hold a hardware thread.
 	InFlight int
+	// CoalesceBytes and CoalesceMsgs arm sender-side eager coalescing
+	// (mpi.Options; both zero = off): consecutive eager sends leave as
+	// multi-message wire frames, and the achieved mean frame width lands in
+	// MsgRateResult.BatchWidth.
+	CoalesceBytes int
+	CoalesceMsgs  int
 	// Faults optionally injects deterministic fabric faults; an active plan
 	// arms the reliability sublayer, whose counters land in the result.
 	Faults rdma.FaultPlan
@@ -108,6 +114,9 @@ type MsgRateResult struct {
 	Engine     mpi.EngineKind
 	MatchStats core.EngineStats // offload engine only
 	Depth      match.Stats      // receiver-side search-depth profile
+	// BatchWidth is the achieved mean messages per coalesced wire frame
+	// across both ranks (0 when coalescing was off or never flushed).
+	BatchWidth float64
 	// Faults and Reliability are populated when cfg.Faults is active.
 	Faults      rdma.FaultSnapshot
 	Reliability mpi.ReliabilitySnapshot
@@ -137,14 +146,16 @@ const (
 func RunMsgRate(cfg MsgRateConfig) (*MsgRateResult, error) {
 	cfg.fill()
 	w, err := mpi.NewWorld(2, mpi.Options{
-		Engine:      cfg.Engine,
-		Matcher:     cfg.Matcher,
-		DPA:         dpa.Config{Threads: cfg.Threads},
-		RecvDepth:   2 * cfg.K,
-		EagerLimit:  1024,
-		Faults:      cfg.Faults,
-		RetxTimeout: cfg.RetxTimeout,
-		Obs:         cfg.Obs,
+		Engine:        cfg.Engine,
+		Matcher:       cfg.Matcher,
+		DPA:           dpa.Config{Threads: cfg.Threads},
+		RecvDepth:     2 * cfg.K,
+		EagerLimit:    1024,
+		Faults:        cfg.Faults,
+		RetxTimeout:   cfg.RetxTimeout,
+		CoalesceBytes: cfg.CoalesceBytes,
+		CoalesceMsgs:  cfg.CoalesceMsgs,
+		Obs:           cfg.Obs,
 	})
 	if err != nil {
 		return nil, err
@@ -230,6 +241,15 @@ func RunMsgRate(cfg MsgRateConfig) (*MsgRateResult, error) {
 	if cfg.Faults.Active() {
 		res.Faults = w.FaultStats()
 		res.Reliability = w.ReliabilityStats()
+	}
+	var frames, coalesced uint64
+	for r := 0; r < 2; r++ {
+		h := w.Proc(r).Obs().Hist(obs.HistCoalesceWidth)
+		frames += h.Count
+		coalesced += h.Sum
+	}
+	if frames > 0 {
+		res.BatchWidth = float64(coalesced) / float64(frames)
 	}
 	// Sink state (atomics) stays readable after the deferred Close; only
 	// the names need the scenario prefix for multi-run exports.

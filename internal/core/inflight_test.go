@@ -322,7 +322,7 @@ func BenchmarkInFlightArrive(b *testing.B) {
 		b.Run(map[int]string{1: "depth=1", 2: "depth=2", 4: "depth=4", 8: "depth=8"}[depth], func(b *testing.B) {
 			cfg := core.Config{
 				Bins: 2048, MaxReceives: 8192, BlockSize: blockN,
-				InFlightBlocks: depth,
+				InFlightBlocks:    depth,
 				EarlyBookingCheck: true, LazyRemoval: true, UseInlineHashes: true,
 			}
 			m := core.MustNew(cfg)

@@ -109,24 +109,43 @@ type Accelerator struct {
 	threads int
 	arena   *Arena
 
-	work chan *blockState
+	work chan ticket
 	wg   sync.WaitGroup
 
 	activations atomic.Uint64
 	closed      atomic.Bool
 }
 
-// blockState is one block's dispatch record: workers steal thread IDs from
-// next until the block is exhausted. It is allocated fresh per block (one
-// small allocation amortized over the whole block) because a worker may
-// still be inspecting it after the final activation finishes — recycling it
-// into a pool could leak a stale worker into the next block.
+// blockState is one block's dispatch record: workers steal thread IDs by
+// advancing the packed state word until the block is exhausted. States are
+// pooled — the steady-state dispatch path allocates nothing per block —
+// which is safe because every access is guarded by the generation tag (see
+// ticket): a worker still inspecting a recycled state sees a bumped
+// generation and walks away without touching the new block.
+//
+// state packs generation(32) | n(16) | next(16). Workers claim thread ID
+// `next` by CAS-incrementing the word; the CAS revalidates the generation
+// and the bound together, so a stale worker can never steal an ID from, or
+// run a handler of, a block it holds no ticket for. n and next fit 16 bits
+// because blocks never exceed MaxThreads (256) activations.
 type blockState struct {
-	n    int
-	fn   func(tid int)
-	next atomic.Int32
-	wg   *sync.WaitGroup
+	fn    func(tid int)
+	state atomic.Uint64
+	wg    sync.WaitGroup
 }
+
+// ticket is one worker wake-up for one block: the block's dispatch record
+// plus the generation it was issued for. Tickets pass through the work
+// channel by value, so waking n workers allocates nothing.
+type ticket struct {
+	bs  *blockState
+	gen uint32
+}
+
+// bsPool recycles block dispatch records. fn and wg are only read after a
+// successful generation-validated CAS, which orders them after RunBlock's
+// writes and pins the record live until the claimed activation's Done.
+var bsPool = sync.Pool{New: func() any { return new(blockState) }}
 
 // Config parameterizes the simulated device.
 type Config struct {
@@ -150,7 +169,7 @@ func New(cfg Config) (*Accelerator, error) {
 	a := &Accelerator{
 		threads: cfg.Threads,
 		arena:   NewArena(cfg.MemoryBytes),
-		work:    make(chan *blockState, cfg.Threads),
+		work:    make(chan ticket, cfg.Threads),
 	}
 	for i := 0; i < cfg.Threads; i++ {
 		a.wg.Add(1)
@@ -176,11 +195,20 @@ func MustNew(cfg Config) *Accelerator {
 // other workers woken by the block's tickets.
 func (a *Accelerator) worker() {
 	defer a.wg.Done()
-	for bs := range a.work {
+	for t := range a.work {
+		bs := t.bs
 		for {
-			tid := int(bs.next.Add(1)) - 1
-			if tid >= bs.n {
-				break
+			v := bs.state.Load()
+			if uint32(v>>32) != t.gen {
+				break // the record moved on to a later block
+			}
+			n := int(v>>16) & 0xFFFF
+			tid := int(v) & 0xFFFF
+			if tid >= n {
+				break // block exhausted: surplus ticket
+			}
+			if !bs.state.CompareAndSwap(v, v+1) {
+				continue // lost the claim race; retry on the fresh word
 			}
 			bs.fn(tid)
 			a.activations.Add(1)
@@ -189,13 +217,6 @@ func (a *Accelerator) worker() {
 	}
 }
 
-// wgPool recycles the WaitGroups RunBlock hands to its blocks: a WaitGroup
-// escapes to the heap through the block state, and without pooling every
-// block would allocate one. Reuse is safe because a WaitGroup whose counter
-// returned to zero is indistinguishable from a fresh one, and workers never
-// touch the WaitGroup after their final Done.
-var wgPool = sync.Pool{New: func() any { return new(sync.WaitGroup) }}
-
 // RunBlock executes fn(0) … fn(n-1) concurrently on the pool and waits for
 // all of them — one activation per message of a matching block. n may not
 // exceed the thread count.
@@ -203,16 +224,22 @@ func (a *Accelerator) RunBlock(n int, fn func(tid int)) {
 	if n > a.threads {
 		panic(fmt.Sprintf("dpa: RunBlock(%d) exceeds %d threads", n, a.threads))
 	}
-	wg := wgPool.Get().(*sync.WaitGroup)
-	wg.Add(n)
-	bs := &blockState{n: n, fn: fn, wg: wg}
+	bs := bsPool.Get().(*blockState)
+	gen := uint32(bs.state.Load()>>32) + 1
+	bs.fn = fn
+	bs.wg.Add(n)
+	// Publishing the new generation ends any straggler from the record's
+	// previous life: its next Load or CAS sees the bumped word and breaks.
+	bs.state.Store(uint64(gen)<<32 | uint64(n)<<16)
 	// One ticket per activation wakes at most n workers; any worker that
 	// arrives after the IDs run out drops its ticket and moves on.
+	t := ticket{bs: bs, gen: gen}
 	for i := 0; i < n; i++ {
-		a.work <- bs
+		a.work <- t
 	}
-	wg.Wait()
-	wgPool.Put(wg)
+	bs.wg.Wait()
+	bs.fn = nil
+	bsPool.Put(bs)
 }
 
 // Threads returns the execution-unit count.

@@ -53,6 +53,14 @@ type Pipeline struct {
 	Classify func(c rdma.Completion) bool
 	// Control handles non-matching completions; required when Classify is set.
 	Control func(c rdma.Completion)
+	// Expand, when set, unbatches one match-bound completion into the
+	// burst of completions it carries (a coalesced multi-message frame
+	// becomes one completion per sub-message), appending them to out and
+	// returning the extended slice. Returning out unchanged drops the
+	// completion (Expand owns its buffer then). Bursts larger than the
+	// block size are formed into consecutive blocks, so a wide frame
+	// naturally fills whole matching blocks.
+	Expand func(c rdma.Completion, out []rdma.Completion) []rdma.Completion
 
 	// Envelopes supplies the reusable envelopes passed to Decode. Matched
 	// envelopes return to the pool right after Handle; unexpected ones
@@ -105,14 +113,12 @@ func (p *Pipeline) Blocks() uint64 { return p.blocks.Load() }
 // Messages returns the number of messages processed.
 func (p *Pipeline) Messages() uint64 { return p.messages.Load() }
 
-// window is one slot of the formation buffer: a scratch array the CQ batch
-// is drained into, the filtered match-bound subset, and the arrival block
-// begun for it. All windows are allocated once and recycled for the
-// pipeline's lifetime.
+// window is one slot of the formation buffer: one block's worth of
+// match-bound completions and the arrival block begun for them. All
+// windows are allocated once and recycled for the pipeline's lifetime.
 type window struct {
-	scratch []rdma.Completion
-	comps   []rdma.Completion
-	blk     *core.Block
+	comps []rdma.Completion
+	blk   *core.Block
 }
 
 // blockRunner carries the per-block state of the handler activations. Its
@@ -175,10 +181,15 @@ func (p *Pipeline) run() {
 	windows := make([]window, depth+1)
 	idle := make(chan *window, len(windows))
 	for i := range windows {
-		windows[i].scratch = make([]rdma.Completion, blockSize)
 		windows[i].comps = make([]rdma.Completion, 0, blockSize)
 		idle <- &windows[i]
 	}
+	// scratch receives each raw CQ batch; formed is the classified (and,
+	// with Expand, unbatched) match-bound stream it yields. Both are
+	// reused across iterations — formed grows once to the widest burst and
+	// then the formation loop allocates nothing.
+	scratch := make([]rdma.Completion, blockSize)
+	formed := make([]rdma.Completion, 0, blockSize)
 
 	jobs := make(chan *window, depth)
 	var lwg sync.WaitGroup
@@ -213,19 +224,18 @@ func (p *Pipeline) run() {
 	}()
 
 	for {
-		w := <-idle
-		n, ok := p.cq.WaitBatch(p.cursor, w.scratch)
+		n, ok := p.cq.WaitBatch(p.cursor, scratch)
 		if !ok {
 			return
 		}
-		gathered := w.scratch[:n]
+		gathered := scratch[:n]
 
 		// Control traffic (e.g. rendezvous ACKs) bypasses matching; it is
 		// handled here on the formation loop, overlapping in-flight blocks'
 		// handlers. Error completions (transport faults such as
 		// rdma.ErrBufferSize) never enter a matching block: they go to
 		// Control when one is installed and are discarded otherwise.
-		w.comps = w.comps[:0]
+		formed = formed[:0]
 		for _, c := range gathered {
 			if c.Err != nil {
 				if p.Control != nil {
@@ -237,7 +247,11 @@ func (p *Pipeline) run() {
 				p.Control(c)
 				continue
 			}
-			w.comps = append(w.comps, c)
+			if p.Expand != nil {
+				formed = p.Expand(c, formed)
+				continue
+			}
+			formed = append(formed, c)
 		}
 
 		p.cursor += uint64(n)
@@ -246,17 +260,24 @@ func (p *Pipeline) run() {
 		o.Counters.Add(obs.CtrCQCompletions, uint64(n))
 		o.Observe(obs.HistDrainBatch, uint64(n))
 		if o.Enabled() {
-			o.Event(obs.EvCQDrain, 0, uint64(n), p.cursor, uint64(len(w.comps)))
+			o.Event(obs.EvCQDrain, 0, uint64(n), p.cursor, uint64(len(formed)))
 		}
 
-		if len(w.comps) > 0 {
-			// Begin the block here, on the formation loop, so block
-			// sequence numbers follow arrival order regardless of which
-			// runner executes the block.
+		// Form the match-bound stream into blocks of at most blockSize
+		// messages: an unbatched frame wider than one block fills several
+		// consecutive ones. Blocks begin here, on the formation loop, so
+		// block sequence numbers follow arrival order regardless of which
+		// runner executes each block; the idle-window wait applies the
+		// same depth backpressure the per-window drain used to.
+		for off := 0; off < len(formed); off += blockSize {
+			end := off + blockSize
+			if end > len(formed) {
+				end = len(formed)
+			}
+			w := <-idle
+			w.comps = append(w.comps[:0], formed[off:end]...)
 			w.blk = p.matcher.BeginBlock(len(w.comps))
 			jobs <- w
-		} else {
-			idle <- w
 		}
 
 		select {

@@ -1,0 +1,7 @@
+//go:build race
+
+package dpa
+
+// raceEnabled reports whether the race detector is active; its
+// instrumentation allocates, so alloc-exactness guards skip under it.
+const raceEnabled = true

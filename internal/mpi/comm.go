@@ -104,7 +104,7 @@ func (p *Proc) checkPeer(rank int) error {
 
 // isend implements the send side of §IV-B.
 func (p *Proc) isend(dst, tag int, comm match.CommID, data []byte) (*Request, error) {
-	req := newRequest()
+	req := newRequest(p)
 	hashes := match.InlineHashes{
 		SrcTag: match.HashSrcTag(match.Rank(p.rank), match.Tag(tag), comm),
 		Tag:    match.HashTag(match.Tag(tag), comm),
@@ -112,22 +112,34 @@ func (p *Proc) isend(dst, tag int, comm match.CommID, data []byte) (*Request, er
 	}
 
 	if len(data) <= p.w.opts.EagerLimit {
-		// Stage header+payload in a pooled buffer: QP.Send copies before
-		// returning, so the buffer goes straight back to the pool.
-		bp := p.w.stagebufs.Get().(*[]byte)
-		buf := *bp
-		if need := headerSize + len(data); cap(buf) < need {
-			buf = make([]byte, need)
-		} else {
-			buf = buf[:need]
+		// Coalescing path: application-communicator eager sends are staged
+		// into the destination's frame; the copy happens at add() time, so
+		// the request completes immediately, like any buffered eager send.
+		if p.coal != nil && comm >= 0 {
+			if err := p.coal.add(dst, int32(tag), comm, hashes, data); err != nil {
+				return nil, err
+			}
+			req.complete(Status{Source: dst, Tag: tag, Count: len(data)}, nil)
+			return req, nil
 		}
+		if p.coal != nil {
+			// Library-internal traffic (negative communicators: barriers,
+			// collectives) bypasses the coalescer, which makes every such
+			// send a synchronization point toward its destination: flush
+			// first so the bypass cannot overtake buffered eager traffic.
+			if err := p.coal.flushDst(dst, flushSync); err != nil {
+				return nil, err
+			}
+		}
+		// Stage header+payload in a slab buffer: QP.Send copies before
+		// returning, so the buffer goes straight back to the slab.
+		buf := p.w.slab.get(headerSize + len(data))
 		h := header{kind: kindEager, src: int32(p.rank), tag: int32(tag),
 			comm: int32(comm), size: uint32(len(data)), hashes: hashes}
 		h.encode(buf)
 		copy(buf[headerSize:], data)
 		err := p.sendWire(dst, buf)
-		*bp = buf[:0]
-		p.w.stagebufs.Put(bp)
+		p.w.slab.put(buf)
 		if err != nil {
 			return nil, err
 		}
@@ -137,7 +149,13 @@ func (p *Proc) isend(dst, tag int, comm match.CommID, data []byte) (*Request, er
 	}
 
 	// Rendezvous: register the user buffer, send an RTS carrying its key,
-	// and complete on the receiver's acknowledgement.
+	// and complete on the receiver's acknowledgement. The RTS is matchable
+	// traffic, so buffered eager messages toward dst must go first.
+	if p.coal != nil {
+		if err := p.coal.flushDst(dst, flushSync); err != nil {
+			return nil, err
+		}
+	}
 	mr := p.w.fabric.RegisterMemory(data)
 	p.pendMu.Lock()
 	p.pending[mr.RKey] = &pendingSend{req: req, mr: mr, dst: dst, tag: tag}
@@ -160,7 +178,7 @@ func (p *Proc) isend(dst, tag int, comm match.CommID, data []byte) (*Request, er
 // irecv posts a receive to the engine. The Recv record comes from the
 // world's pool; whichever path delivers the match recycles it.
 func (p *Proc) irecv(src, tag int, comm match.CommID, buf []byte) (*Request, error) {
-	req := newRequest()
+	req := newRequest(p)
 	r := p.w.recvs.Get().(*match.Recv)
 	*r = match.Recv{
 		Source: match.Rank(src),

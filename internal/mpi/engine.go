@@ -3,6 +3,7 @@ package mpi
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/dpa"
@@ -77,21 +78,22 @@ func (e *hostEngine) run() {
 				e.p.repost(c.Data)
 				continue
 			}
-			env := fillEnvelope(e.p.w.envPool.Get(), h, payloadOf(h, c.Data))
-			e.mu.Lock()
-			r, matched := e.lm.Arrive(env)
-			if !matched {
-				// Stabilize before releasing the lock: a concurrent post
-				// could otherwise take the envelope while it still aliases
-				// the bounce buffer.
-				e.p.stabilizeUnexpected(env)
+			if h.kind == kindEagerBatch {
+				// One frame, a burst of arrivals: every sub-message flows
+				// through the matcher before the bounce buffer is reposted.
+				if it, err := newBatchIter(h, c.Data); err == nil {
+					for {
+						m, ok := it.next()
+						if !ok {
+							break
+						}
+						e.arrive(fillSubEnvelope(e.p.w.envPool.Get(), h.src, h.comm, m))
+					}
+				}
+				e.p.repost(c.Data)
+				continue
 			}
-			e.mu.Unlock()
-			if matched {
-				e.p.deliverMatch(r, env)
-				e.p.w.envPool.Put(env)
-				e.p.recycleRecv(r)
-			}
+			e.arrive(fillEnvelope(e.p.w.envPool.Get(), h, payloadOf(h, c.Data)))
 			e.p.repost(c.Data)
 		}
 		cursor += uint64(n)
@@ -102,6 +104,27 @@ func (e *hostEngine) run() {
 		if e.p.obs.Enabled() {
 			e.p.obs.Event(obs.EvCQDrain, 0, uint64(n), cursor, uint64(n))
 		}
+	}
+}
+
+// arrive runs one envelope through the list matcher and delivers or
+// stores it. The envelope's payload may alias a bounce buffer; it is
+// stabilized under the lock when the message goes unexpected, so the
+// caller may repost the buffer as soon as arrive returns.
+func (e *hostEngine) arrive(env *match.Envelope) {
+	e.mu.Lock()
+	r, matched := e.lm.Arrive(env)
+	if !matched {
+		// Stabilize before releasing the lock: a concurrent post could
+		// otherwise take the envelope while it still aliases the bounce
+		// buffer.
+		e.p.stabilizeUnexpected(env)
+	}
+	e.mu.Unlock()
+	if matched {
+		e.p.deliverMatch(r, env)
+		e.p.w.envPool.Put(env)
+		e.p.recycleRecv(r)
 	}
 }
 
@@ -198,7 +221,90 @@ func newOffloadEngine(p *Proc) (*offloadEngine, error) {
 	e.pipe.Handle = e.handle
 	e.pipe.Classify = e.classify
 	e.pipe.Control = e.control
+	e.pipe.Expand = e.expand
 	return e, nil
+}
+
+// subImm marks a completion synthesized by expand for one sub-message of
+// a coalesced frame. The fabric always delivers imm 0 (this layer sends
+// with imm 0 everywhere), so the marker cannot collide with real traffic.
+const subImm uint32 = 1
+
+// frameRef ties the sub-message completions of one expanded frame back to
+// their shared bounce buffer. The last Handle to release its sub-message
+// reposts the buffer; refs themselves are pooled so the unbatching path
+// allocates nothing in steady state.
+type frameRef struct {
+	buf       []byte
+	remaining atomic.Int32
+}
+
+var frameRefPool = sync.Pool{New: func() any { return new(frameRef) }}
+
+// expand unbatches a coalesced frame into one completion per sub-message
+// for block formation. Non-frame completions pass through unchanged. Each
+// sub-completion carries the sub-record slice as Data, the frame's
+// (src, comm) packed into WRID, the subImm marker, and a shared frameRef
+// so the bounce buffer is reposted exactly once, after the last
+// sub-message's protocol handling. A malformed frame (impossible from our
+// own wire layer, but the decoder must not trust the wire) is dropped
+// whole and its buffer reposted immediately.
+func (e *offloadEngine) expand(c rdma.Completion, out []rdma.Completion) []rdma.Completion {
+	h, err := decodeHeader(c.Data)
+	if err != nil || h.kind != kindEagerBatch {
+		return append(out, c)
+	}
+	it, err := newBatchIter(h, c.Data)
+	if err != nil {
+		e.p.repost(c.Data)
+		return out
+	}
+	ref := frameRefPool.Get().(*frameRef)
+	ref.buf = c.Data
+	base := len(out)
+	body := c.Data[headerSize:]
+	wrid := uint64(uint32(h.src))<<32 | uint64(uint32(h.comm))
+	for {
+		start := len(body) - len(it.body)
+		m, ok := it.next()
+		if !ok {
+			break
+		}
+		end := len(body) - len(it.body)
+		out = append(out, rdma.Completion{
+			Op:    c.Op,
+			WRID:  wrid,
+			Bytes: len(m.payload),
+			Imm:   subImm,
+			Data:  body[start:end:end],
+			Aux:   ref,
+		})
+	}
+	if it.err != nil {
+		out = out[:base]
+		ref.buf = nil
+		frameRefPool.Put(ref)
+		e.p.repost(c.Data)
+		return out
+	}
+	ref.remaining.Store(int32(len(out) - base))
+	return out
+}
+
+// release recycles a completion's bounce buffer after protocol handling:
+// directly for lone messages, through the frame's reference count for
+// expanded sub-messages.
+func (e *offloadEngine) release(c rdma.Completion) {
+	if ref, ok := c.Aux.(*frameRef); ok {
+		if ref.remaining.Add(-1) == 0 {
+			buf := ref.buf
+			ref.buf = nil
+			frameRefPool.Put(ref)
+			e.p.repost(buf)
+		}
+		return
+	}
+	e.p.repost(c.Data)
 }
 
 // classify routes completions: error completions, ACKs, sacks, and
@@ -235,6 +341,18 @@ func (e *offloadEngine) start() error {
 // envelope. The eager payload still aliases the bounce buffer here;
 // handle() decides whether it must be stabilized.
 func (e *offloadEngine) decode(c rdma.Completion, env *match.Envelope) *match.Envelope {
+	if c.Imm == subImm {
+		// A sub-message expanded out of a coalesced frame: Data is one
+		// sub-record, WRID carries the frame's (src, comm).
+		it := batchIter{body: c.Data, left: 1}
+		m, ok := it.next()
+		if !ok {
+			env.Reset()
+			env.Comm = -1
+			return env
+		}
+		return fillSubEnvelope(env, int32(c.WRID>>32), int32(uint32(c.WRID)), m)
+	}
 	h, err := decodeHeader(c.Data)
 	if err != nil {
 		// Malformed traffic cannot occur from our own wire layer; match it
@@ -255,7 +373,7 @@ func (e *offloadEngine) handle(tid int, res core.Result, c rdma.Completion) {
 		e.p.deliverMatch(res.Recv, res.Env)
 		e.p.recycleRecv(res.Recv)
 	}
-	e.p.repost(c.Data)
+	e.release(c)
 }
 
 // control handles error completions, rendezvous ACKs, and
@@ -276,7 +394,29 @@ func (e *offloadEngine) control(c rdma.Completion) {
 		return
 	}
 	// Software-matched communicator: traditional list matching on the host.
-	env := fillEnvelope(e.p.w.envPool.Get(), h, payloadOf(h, c.Data))
+	// A coalesced frame on a fallback communicator unbatches here — every
+	// sub-message flows through the list matcher before the repost.
+	if h.kind == kindEagerBatch {
+		if it, err := newBatchIter(h, c.Data); err == nil {
+			for {
+				m, ok := it.next()
+				if !ok {
+					break
+				}
+				e.fbArrive(fillSubEnvelope(e.p.w.envPool.Get(), h.src, h.comm, m))
+			}
+		}
+		e.p.repost(c.Data)
+		return
+	}
+	e.fbArrive(fillEnvelope(e.p.w.envPool.Get(), h, payloadOf(h, c.Data)))
+	e.p.repost(c.Data)
+}
+
+// fbArrive runs one envelope through the fallback list matcher, exactly
+// like hostEngine.arrive: unexpected payloads are stabilized under the
+// lock, so the caller may repost the bounce buffer on return.
+func (e *offloadEngine) fbArrive(env *match.Envelope) {
 	e.fbMu.Lock()
 	r, matched := e.fallback.Arrive(env)
 	if !matched {
@@ -288,7 +428,6 @@ func (e *offloadEngine) control(c rdma.Completion) {
 		e.p.w.envPool.Put(env)
 		e.p.recycleRecv(r)
 	}
-	e.p.repost(c.Data)
 }
 
 func (e *offloadEngine) post(r *match.Recv) error {
@@ -366,22 +505,46 @@ func (e *rawEngine) run() {
 				e.p.repost(c.Data)
 				continue
 			}
-			// Raw mode has no unexpected store: block until a receive is posted.
-			var r *match.Recv
-			select {
-			case r = <-e.posts:
-			case <-e.done:
+			if h.kind == kindEagerBatch {
+				if it, err := newBatchIter(h, c.Data); err == nil {
+					for {
+						m, ok := it.next()
+						if !ok {
+							break
+						}
+						if !e.completeNext(int(h.src), int(m.tag), m.payload) {
+							return
+						}
+					}
+				}
+				e.p.repost(c.Data)
+				continue
+			}
+			if !e.completeNext(int(h.src), int(h.tag), payloadOf(h, c.Data)) {
 				return
 			}
-			req := r.User.(*Request)
-			nc := copy(r.Buffer, payloadOf(h, c.Data))
-			req.complete(Status{Source: int(h.src), Tag: int(h.tag), Count: nc}, nil)
-			e.p.recycleRecv(r)
 			e.p.repost(c.Data)
 		}
 		cursor += uint64(n)
 		e.p.recvCQ.Trim(cursor)
 	}
+}
+
+// completeNext pairs one eager arrival with the next posted receive in
+// FIFO order. It reports false when the engine is shutting down.
+// Raw mode has no unexpected store: it blocks until a receive is posted.
+func (e *rawEngine) completeNext(src, tag int, payload []byte) bool {
+	var r *match.Recv
+	select {
+	case r = <-e.posts:
+	case <-e.done:
+		return false
+	}
+	req := r.User.(*Request)
+	nc := copy(r.Buffer, payload)
+	req.complete(Status{Source: src, Tag: tag, Count: nc}, nil)
+	e.p.recycleRecv(r)
+	return true
 }
 
 func (e *rawEngine) post(r *match.Recv) error {

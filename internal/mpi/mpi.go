@@ -95,6 +95,20 @@ type Options struct {
 	// 2ms); backoff doubles per retry up to 16x. Only meaningful when
 	// Faults is active.
 	RetxTimeout time.Duration
+	// CoalesceBytes and CoalesceMsgs arm sender-side adaptive coalescing
+	// of eager messages (coalesce.go): consecutive eager sends toward one
+	// destination are aggregated into a single kindEagerBatch wire frame,
+	// flushed when the body reaches CoalesceBytes, when CoalesceMsgs
+	// sub-messages are staged, at synchronization points (Wait, Barrier,
+	// rendezvous, Close), or on the CoalesceTimeout staleness timer. Both
+	// zero (the default) leaves coalescing off and the wire stream
+	// byte-identical to earlier versions; arming either knob fills the
+	// other with a default (4096 bytes / the frame's message cap).
+	CoalesceBytes int
+	CoalesceMsgs  int
+	// CoalesceTimeout bounds how long a buffered eager message may wait
+	// for company (default 200µs). Only meaningful when coalescing is on.
+	CoalesceTimeout time.Duration
 	// CommInfo declares communicator info objects (§IV-E / §VII) ahead of
 	// time: matching assertions to propagate to the offloaded engine, and
 	// offload opt-outs. Each offloaded declared communicator is budgeted
@@ -130,6 +144,36 @@ func (o *Options) fill() {
 	if o.Matcher == (core.Config{}) {
 		o.Matcher = core.DefaultConfig()
 	}
+	if o.coalesceArmed() {
+		if o.CoalesceBytes <= 0 {
+			o.CoalesceBytes = 4096
+		}
+		if o.CoalesceMsgs <= 1 {
+			o.CoalesceMsgs = maxBatchMsgs
+		}
+		if o.CoalesceTimeout <= 0 {
+			o.CoalesceTimeout = 200 * time.Microsecond
+		}
+	}
+}
+
+// coalesceArmed reports whether eager coalescing is on. A message count of
+// 1 cannot batch anything, so only counts above 1 (or a byte threshold)
+// arm it.
+func (o *Options) coalesceArmed() bool {
+	return o.CoalesceBytes > 0 || o.CoalesceMsgs > 1
+}
+
+// frameCap is the staged-frame (and bounce-buffer) capacity when
+// coalescing is armed: at least the byte threshold, and always enough for
+// one worst-case eager-limit sub-record so any eligible message fits an
+// empty frame.
+func (o *Options) frameCap() int {
+	body := o.CoalesceBytes
+	if min := subRecordSize(o.EagerLimit); body < min {
+		body = min
+	}
+	return headerSize + body
 }
 
 // ErrTruncated is reported when a message is longer than the posted buffer.
@@ -142,17 +186,14 @@ type World struct {
 	procs  []*Proc
 
 	// envPool recycles matching envelopes across all ranks' arrival paths;
-	// payloads recycles the stabilization buffers of unexpected eager
-	// messages (sized to the eager limit). Together they make the
-	// steady-state arrival path allocation-free.
-	envPool  match.EnvelopePool
-	payloads sync.Pool
-	// recvs recycles the match.Recv records irecv hands to the engines;
-	// stagebufs recycles the sender-side wire staging buffers of eager
-	// sends (QP.Send copies synchronously, so a staging buffer is free for
-	// reuse the moment Send returns).
-	recvs     sync.Pool
-	stagebufs sync.Pool
+	// slab recycles every variable-length scratch buffer — eager/frame wire
+	// staging, stabilized unexpected payloads, reliability retransmit
+	// copies — through size-classed pools (slab.go). Together they make the
+	// steady-state send and arrival paths allocation-free.
+	envPool match.EnvelopePool
+	slab    slab
+	// recvs recycles the match.Recv records irecv hands to the engines.
+	recvs sync.Pool
 
 	closeOnce sync.Once
 }
@@ -166,15 +207,7 @@ func NewWorld(n int, opts Options) (*World, error) {
 	w := &World{opts: opts, fabric: rdma.NewFabric()}
 	w.fabric.SetObs(obs.New(opts.Obs)) // before ConnectPair: injectors capture the sink
 	w.fabric.SetFaults(opts.Faults)    // before ConnectPair: QPs inherit injectors
-	w.payloads.New = func() any {
-		b := make([]byte, 0, w.opts.EagerLimit)
-		return &b
-	}
 	w.recvs.New = func() any { return new(match.Recv) }
-	w.stagebufs.New = func() any {
-		b := make([]byte, 0, headerSize+w.opts.EagerLimit)
-		return &b
-	}
 	w.fabric.SetCost(opts.Cost)
 
 	for rank := 0; rank < n; rank++ {
@@ -215,6 +248,14 @@ func (w *World) Proc(rank int) *Proc { return w.procs[rank] }
 // completed (e.g. after Waitall/Barrier).
 func (w *World) Close() {
 	w.closeOnce.Do(func() {
+		// Drain the coalescers first (stopping their staleness timers):
+		// every buffered eager frame must reach the wire before the QPs
+		// close under it.
+		for _, p := range w.procs {
+			if p.coal != nil {
+				p.coal.shutdown()
+			}
+		}
 		for _, p := range w.procs {
 			for _, qp := range p.sendQP {
 				qp.Close()
@@ -276,6 +317,7 @@ type Proc struct {
 
 	engine engine
 	rel    *reliability // non-nil only under an active fault plan
+	coal   *coalescer   // non-nil only when coalescing is armed
 
 	// obs is the rank's observability domain, shared by the matching
 	// engine, the arrival datapath, and the reliability sublayer (disjoint
@@ -316,7 +358,12 @@ func newProc(w *World, rank, n int) (*Proc, error) {
 		p.rel.obs = p.obs
 	}
 	// Stock the bounce-buffer pool (§IV-A: buffers live in NIC memory).
+	// With coalescing armed, buffers must hold the largest batch frame.
 	bufSize := headerSize + w.opts.EagerLimit
+	if w.opts.coalesceArmed() {
+		bufSize = w.opts.frameCap()
+		p.coal = newCoalescer(p)
+	}
 	for i := 0; i < w.opts.RecvDepth; i++ {
 		p.srq.Post(make([]byte, bufSize), uint64(i))
 	}
@@ -341,7 +388,19 @@ func (p *Proc) start() error {
 	if p.rel != nil {
 		p.rel.start()
 	}
+	if p.coal != nil {
+		p.coal.start()
+	}
 	return p.engine.start()
+}
+
+// flushCoalesced pushes every buffered eager frame onto the wire. The
+// request layer calls it at synchronization points (Wait and friends); it
+// is one atomic load when coalescing is off or nothing is buffered.
+func (p *Proc) flushCoalesced() {
+	if p.coal != nil {
+		_ = p.coal.flushAll(flushSync)
+	}
 }
 
 // ReliabilityStats returns this rank's reliability counters; the zero
@@ -436,12 +495,7 @@ func (p *Proc) stabilizeUnexpected(env *match.Envelope) {
 	if env.Data == nil {
 		return
 	}
-	bp := p.w.payloads.Get().(*[]byte)
-	buf := *bp
-	if cap(buf) < len(env.Data) {
-		buf = make([]byte, 0, len(env.Data))
-	}
-	buf = buf[:len(env.Data)]
+	buf := p.w.slab.get(len(env.Data))
 	copy(buf, env.Data)
 	env.Data = buf
 }
@@ -452,8 +506,7 @@ func (p *Proc) stabilizeUnexpected(env *match.Envelope) {
 // pool-owned, never a bounce-buffer alias.
 func (p *Proc) recycleUnexpected(env *match.Envelope) {
 	if env.Data != nil {
-		buf := env.Data[:0]
-		p.w.payloads.Put(&buf)
+		p.w.slab.put(env.Data)
 	}
 	p.w.envPool.Put(env)
 }

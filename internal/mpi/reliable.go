@@ -160,18 +160,11 @@ func newReliability(p *Proc, timeout time.Duration) *reliability {
 	rel.xmitControl = func(dst int, wire []byte) error {
 		return p.sendQP[dst].SendControl(wire, 0, 0)
 	}
-	rel.getBuf = func(n int) []byte {
-		bp := p.w.stagebufs.Get().(*[]byte)
-		keep := *bp
-		if cap(keep) < n {
-			return make([]byte, n)
-		}
-		return keep[:n]
-	}
-	rel.putBuf = func(buf []byte) {
-		b := buf[:0]
-		p.w.stagebufs.Put(&b)
-	}
+	// Retained retransmit copies come from the size-classed slab: frames
+	// can be far larger than a lone eager message, and the slab keeps the
+	// under-faults send path allocation-free across that size variance.
+	rel.getBuf = p.w.slab.get
+	rel.putBuf = p.w.slab.put
 	return rel
 }
 

@@ -21,6 +21,7 @@ type Status struct {
 // complete before the caller can block, so the common hot path pays one
 // small allocation per request and no channel.
 type Request struct {
+	p      *Proc // issuing rank, for synchronization-point flushes
 	mu     sync.Mutex
 	done   chan struct{} // created by the first early waiter
 	state  atomic.Uint32 // 0 = pending, 1 = complete
@@ -28,8 +29,8 @@ type Request struct {
 	err    error
 }
 
-func newRequest() *Request {
-	return new(Request)
+func newRequest(p *Proc) *Request {
+	return &Request{p: p}
 }
 
 // complete finishes the request exactly once; later calls are no-ops.
@@ -46,8 +47,15 @@ func (r *Request) complete(st Status, err error) {
 	r.mu.Unlock()
 }
 
-// Wait blocks until the operation completes and returns its status.
+// Wait blocks until the operation completes and returns its status. Wait
+// is a synchronization point: any eager messages buffered by the rank's
+// coalescer are flushed, so a peer blocked on this rank's sends always
+// makes progress (and a pending receive here cannot deadlock on our own
+// unflushed traffic the peer is waiting for).
 func (r *Request) Wait() (Status, error) {
+	if r.p != nil {
+		r.p.flushCoalesced()
+	}
 	if r.state.Load() == 1 {
 		return r.status, r.err
 	}
@@ -66,8 +74,12 @@ func (r *Request) Wait() (Status, error) {
 }
 
 // doneChan materializes the completion channel for select-based waiters
-// (Waitany). It is closed if the request already completed.
+// (Waitany). It is closed if the request already completed. Like Wait, it
+// is a synchronization point for the rank's coalescer.
 func (r *Request) doneChan() <-chan struct{} {
+	if r.p != nil {
+		r.p.flushCoalesced()
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.done == nil {

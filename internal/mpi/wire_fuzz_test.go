@@ -3,6 +3,8 @@ package mpi
 import (
 	"bytes"
 	"testing"
+
+	"repro/internal/match"
 )
 
 // FuzzDecodeHeader hardens the wire parser: arbitrary bytes must never
@@ -23,7 +25,7 @@ func FuzzDecodeHeader(f *testing.F) {
 		if err != nil {
 			return
 		}
-		if got.kind < kindEager || got.kind > kindSack {
+		if got.kind < kindEager || got.kind > kindEagerBatch {
 			t.Fatalf("decode accepted kind %d", got.kind)
 		}
 		var buf [headerSize]byte
@@ -69,6 +71,123 @@ func FuzzPayloadOf(f *testing.F) {
 		}
 		if h.kind != kindEager && p != nil {
 			t.Fatal("non-eager payload not nil")
+		}
+	})
+}
+
+// batchFrame assembles a valid kindEagerBatch wire message from payloads,
+// mirroring what coalescer.flushLocked produces.
+func batchFrame(payloads ...[]byte) []byte {
+	body := make([]byte, headerSize)
+	for i, p := range payloads {
+		body = appendSubRecord(body, int32(i-1), match.InlineHashes{
+			SrcTag: uint64(i), Tag: uint64(2 * i), Src: uint64(3 * i),
+		}, p)
+	}
+	h := header{
+		kind: kindEagerBatch, src: 1, comm: 0,
+		size: uint32(len(body) - headerSize),
+		rkey: uint64(len(payloads)),
+	}
+	h.encode(body[:headerSize])
+	return body
+}
+
+// FuzzBatchFrame hardens the multi-message frame parser: arbitrary bodies,
+// counts, and size fields must never panic or slice outside the wire
+// buffer, and every frame the coalescer can legally emit must decode back
+// to its inputs exactly.
+func FuzzBatchFrame(f *testing.F) {
+	// Well-formed frames: single message, zero-length payloads, mixed
+	// sizes, and a max-count frame of empty payloads.
+	f.Add(batchFrame([]byte("hello")))
+	f.Add(batchFrame([]byte{}, []byte{}, []byte{}))
+	f.Add(batchFrame([]byte{1}, bytes.Repeat([]byte{2}, 64), []byte{}))
+	many := make([][]byte, maxBatchMsgs)
+	for i := range many {
+		many[i] = []byte{}
+	}
+	f.Add(batchFrame(many...))
+	// Malformed: truncated sub-headers, hostile counts, trailing bytes.
+	trunc := batchFrame([]byte("abcdefgh"))
+	f.Add(trunc[:len(trunc)-9]) // cut into the payload
+	f.Add(trunc[:headerSize+1]) // cut into the first sub-header
+	hostile := batchFrame([]byte("x"))
+	var hh header
+	hh, _ = decodeHeader(hostile)
+	hh.rkey = 1 << 40 // count far beyond maxBatchMsgs
+	hh.encode(hostile[:headerSize])
+	f.Add(hostile)
+	f.Add(append(batchFrame([]byte("y")), 0xEE)) // trailing garbage
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := decodeHeader(data)
+		if err != nil || h.kind != kindEagerBatch {
+			return
+		}
+		it, err := newBatchIter(h, data)
+		if err != nil {
+			return
+		}
+		seen := 0
+		body := data[headerSize:]
+		for {
+			m, ok := it.next()
+			if !ok {
+				break
+			}
+			seen++
+			if len(m.payload) > 0 {
+				// The payload must alias the frame body, never beyond it.
+				start := len(body) - len(it.body) - len(m.payload)
+				if start < 0 || !bytes.Equal(m.payload, body[start:start+len(m.payload)]) {
+					t.Fatalf("payload does not alias frame body")
+				}
+			}
+			if seen > maxBatchMsgs {
+				t.Fatalf("iterator yielded %d sub-messages, cap is %d", seen, maxBatchMsgs)
+			}
+		}
+		if it.err == nil && seen != int(h.rkey) {
+			t.Fatalf("clean iteration yielded %d sub-messages, header says %d", seen, h.rkey)
+		}
+	})
+}
+
+// FuzzBatchRoundTrip checks encode/decode symmetry: sub-records appended
+// with arbitrary tags, hashes, and payload splits decode back identically.
+func FuzzBatchRoundTrip(f *testing.F) {
+	f.Add(int32(0), uint64(1), []byte("payload"), []byte{})
+	f.Add(int32(-3), uint64(0xDEADBEEF), []byte{}, []byte("second"))
+	f.Add(int32(1<<30), uint64(1)<<63, bytes.Repeat([]byte{7}, 200), []byte{8})
+
+	f.Fuzz(func(t *testing.T, tag int32, hash uint64, p1, p2 []byte) {
+		hashes := match.InlineHashes{SrcTag: hash, Tag: hash ^ 1, Src: ^hash}
+		body := make([]byte, headerSize)
+		body = appendSubRecord(body, tag, hashes, p1)
+		body = appendSubRecord(body, -tag, hashes, p2)
+		h := header{kind: kindEagerBatch, size: uint32(len(body) - headerSize), rkey: 2}
+		h.encode(body[:headerSize])
+
+		it, err := newBatchIter(h, body)
+		if err != nil {
+			t.Fatalf("valid frame rejected: %v", err)
+		}
+		for i, want := range []struct {
+			tag     int32
+			payload []byte
+		}{{tag, p1}, {-tag, p2}} {
+			m, ok := it.next()
+			if !ok {
+				t.Fatalf("sub-message %d missing: %v", i, it.err)
+			}
+			if m.tag != want.tag || !bytes.Equal(m.payload, want.payload) || m.hashes != hashes {
+				t.Fatalf("sub-message %d: got tag=%d len=%d, want tag=%d len=%d",
+					i, m.tag, len(m.payload), want.tag, len(want.payload))
+			}
+		}
+		if _, ok := it.next(); ok || it.err != nil {
+			t.Fatalf("frame did not end cleanly: %v", it.err)
 		}
 	})
 }

@@ -108,6 +108,20 @@ const (
 	// CtrCQCompletions counts completions drained from the receive CQ.
 	CtrCQCompletions
 
+	// Eager-coalescing counters (internal/mpi coalesce.go): frames flushed
+	// by each policy trigger. Frame widths are in HistCoalesceWidth.
+
+	// CtrCoalesceFlushSize counts frames flushed by the byte threshold.
+	CtrCoalesceFlushSize
+	// CtrCoalesceFlushCount counts frames flushed by the message-count
+	// threshold.
+	CtrCoalesceFlushCount
+	// CtrCoalesceFlushSync counts frames flushed at synchronization points
+	// (Wait, Barrier, rendezvous, bypass sends, world drain).
+	CtrCoalesceFlushSync
+	// CtrCoalesceFlushTimeout counts frames flushed by the staleness timer.
+	CtrCoalesceFlushTimeout
+
 	// Analyzer counters (internal/analyzer).
 
 	// CtrAnalyzerShards counts per-rank replay shards executed.
@@ -158,8 +172,13 @@ var counterNames = [NumCounters]string{
 	CtrFaultStalls:      "fault_stalls",
 	CtrCQDrains:         "cq_drains",
 	CtrCQCompletions:    "cq_completions",
-	CtrAnalyzerShards:   "analyzer_shards",
-	CtrAnalyzerEvents:   "analyzer_events",
+
+	CtrCoalesceFlushSize:    "coalesce_flush_size",
+	CtrCoalesceFlushCount:   "coalesce_flush_count",
+	CtrCoalesceFlushSync:    "coalesce_flush_sync",
+	CtrCoalesceFlushTimeout: "coalesce_flush_timeout",
+	CtrAnalyzerShards:       "analyzer_shards",
+	CtrAnalyzerEvents:       "analyzer_events",
 }
 
 // String returns the counter's stable snapshot key.

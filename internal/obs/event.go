@@ -61,6 +61,10 @@ const (
 	// EvAnalyzerPhase: an analyzer pipeline phase completed. A=phase code
 	// (0 schedule, 1 replay, 2 merge), B=phase nanoseconds.
 	EvAnalyzerPhase
+	// EvCoalesceFlush: an eager batch frame was flushed. A=flush reason
+	// (0 size, 1 count, 2 sync, 3 timeout), B=sub-message count, C=frame
+	// bytes on the wire; Worker=destination rank.
+	EvCoalesceFlush
 
 	// NumKinds bounds the enum; it must stay last.
 	NumKinds
@@ -84,6 +88,7 @@ var kindNames = [NumKinds]string{
 	EvAck:              "ack",
 	EvAnalyzerShard:    "analyzer_shard",
 	EvAnalyzerPhase:    "analyzer_phase",
+	EvCoalesceFlush:    "coalesce_flush",
 }
 
 // String returns the kind's stable export name.

@@ -50,6 +50,8 @@ func kindCat(k Kind) string {
 		return "fault"
 	case EvAnalyzerShard, EvAnalyzerPhase:
 		return "analyzer"
+	case EvCoalesceFlush:
+		return "coalesce"
 	}
 	return "obs"
 }

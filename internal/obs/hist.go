@@ -19,6 +19,10 @@ const (
 	HistRetxBackoffNs
 	// HistPostDepth is the PostRecv search depth in entries examined.
 	HistPostDepth
+	// HistCoalesceWidth is the sub-message count of each flushed eager
+	// batch frame (Count = frames sent, Sum = messages coalesced, so
+	// Mean() is the achieved batch width).
+	HistCoalesceWidth
 
 	// NumHists bounds the enum; it must stay last.
 	NumHists
@@ -30,6 +34,7 @@ var histNames = [NumHists]string{
 	HistDrainBatch:    "drain_batch",
 	HistRetxBackoffNs: "retx_backoff_ns",
 	HistPostDepth:     "post_depth",
+	HistCoalesceWidth: "coalesce_width",
 }
 
 // String returns the histogram's stable snapshot key.

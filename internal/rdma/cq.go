@@ -15,6 +15,12 @@ type Completion struct {
 	Err   error  // non-nil for error completions (e.g. ErrBufferSize);
 	// Data then carries the (unfilled) posted buffer for recycling and
 	// Bytes the length the operation would have needed.
+
+	// Aux carries consumer-side context on synthesized completions — the
+	// fabric never sets it. The MPI layer uses it to tie the sub-message
+	// completions expanded out of one coalesced frame back to their shared
+	// bounce buffer for exactly-once recycling.
+	Aux any
 }
 
 // CQ is a completion queue. Unlike hardware rings it retains a sliding
