@@ -2,6 +2,15 @@
 // ping-pong benchmark across the five configurations — Optimistic-DPA in
 // the no-conflict (NC), with-conflict fast-path (WC-FP), and with-conflict
 // slow-path (WC-SP) settings, plus the MPI-CPU and RDMA-CPU baselines.
+//
+// With -ranks N it instead runs the multi-rank ring message-rate workload,
+// and with -transport tcp|udp the N ranks become N OS processes over real
+// sockets: the command re-executes itself once per rank (spawning a small
+// coordinator for rank/address exchange), so one invocation measures true
+// multi-core scaling:
+//
+//	msgrate -transport tcp -ranks 4 -bench-json out.json
+//	msgrate -transport udp -ranks 2 -faults seed=7,drop=0.05
 package main
 
 import (
@@ -14,8 +23,11 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/dpa"
+	"repro/internal/mpi"
 	"repro/internal/obs"
 	"repro/internal/rdma"
+	"repro/internal/rdma/netfabric"
 )
 
 // writeProfile dumps a named runtime profile (mutex, block) to path.
@@ -50,8 +62,50 @@ func main() {
 		blockprof     = flag.String("blockprofile", "", "write a goroutine blocking profile to this file on exit")
 		traceOut      = flag.String("trace-out", "", "write a Chrome trace_event JSON (chrome://tracing, Perfetto) to this file")
 		statsJSON     = flag.String("stats-json", "", "write observability counter/histogram snapshots as JSON to this file")
+		transport     = flag.String("transport", "inproc", "fabric transport: inproc | tcp | udp")
+		ranks         = flag.Int("ranks", 0, "ring-mode world size (0 = classic two-rank Figure 8; requires >= 1 with tcp/udp)")
+		rank          = flag.Int("rank", -1, "this process's rank (set by the launcher; -1 = launch all ranks)")
+		coord         = flag.String("coord", "", "coordinator address for rank/address exchange (set by the launcher)")
+		engine        = flag.String("engine", "host", "ring-mode matching engine: host | offload | raw")
 	)
 	flag.Parse()
+
+	engines := map[string]mpi.EngineKind{
+		"host": mpi.EngineHost, "offload": mpi.EngineOffload, "raw": mpi.EngineRaw,
+	}
+	engineKind, engineOK := engines[*engine]
+	switch {
+	case *transport != "inproc" && *transport != "tcp" && *transport != "udp":
+		fmt.Fprintf(os.Stderr, "msgrate: -transport %q, want inproc, tcp, or udp\n", *transport)
+		os.Exit(2)
+	case !engineOK:
+		fmt.Fprintf(os.Stderr, "msgrate: -engine %q, want host, offload, or raw\n", *engine)
+		os.Exit(2)
+	case *ranks < 0:
+		fmt.Fprintf(os.Stderr, "msgrate: -ranks %d must be >= 0\n", *ranks)
+		os.Exit(2)
+	case *transport != "inproc" && *ranks < 1:
+		fmt.Fprintf(os.Stderr, "msgrate: -transport %s needs -ranks >= 1\n", *transport)
+		os.Exit(2)
+	case *transport == "inproc" && (*rank != -1 || *coord != ""):
+		fmt.Fprintf(os.Stderr, "msgrate: -rank/-coord are only meaningful with -transport tcp|udp\n")
+		os.Exit(2)
+	case *rank < -1 || (*ranks > 0 && *rank >= *ranks):
+		fmt.Fprintf(os.Stderr, "msgrate: -rank %d outside [0,%d)\n", *rank, *ranks)
+		os.Exit(2)
+	case *rank >= 0 && *coord == "":
+		fmt.Fprintf(os.Stderr, "msgrate: -rank requires -coord (both are set by the launcher)\n")
+		os.Exit(2)
+	case *rank < 0 && *coord != "":
+		fmt.Fprintf(os.Stderr, "msgrate: -coord requires -rank\n")
+		os.Exit(2)
+	case *transport == "tcp" && *faults != "":
+		fmt.Fprintf(os.Stderr, "msgrate: TCP models a reliable transport; lossy runs need -transport udp or -transport inproc\n")
+		os.Exit(2)
+	case *transport != "inproc" && *modeled:
+		fmt.Fprintf(os.Stderr, "msgrate: -modeled rates are core-count independent; they only make sense with -transport inproc\n")
+		os.Exit(2)
+	}
 
 	if *inflight < 1 || *inflight > core.MaxInFlightBlocks {
 		fmt.Fprintf(os.Stderr, "msgrate: -inflight %d outside [1,%d]\n", *inflight, core.MaxInFlightBlocks)
@@ -70,6 +124,17 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "msgrate: %v\n", err)
 		os.Exit(1)
+	}
+
+	// Launcher mode: a net transport with no -rank spawns the whole job —
+	// one process per rank plus the coordinator — and waits.
+	if *transport != "inproc" && *rank < 0 {
+		fmt.Printf("launching %d %s rank processes (%d cores)\n", *ranks, *transport, runtime.NumCPU())
+		if err := netfabric.Launch(*ranks); err != nil {
+			fmt.Fprintf(os.Stderr, "msgrate: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *cpuprofile != "" {
@@ -124,6 +189,95 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote bench results to %s\n", *benchJSON)
+	}
+
+	// Ring mode: -ranks N runs the multi-rank ring workload — in one
+	// process over the in-process fabric, or as this process's rank of an
+	// out-of-process job over sockets.
+	if *ranks > 0 {
+		var obsOpts obs.Options
+		if *traceOut != "" {
+			obsOpts = obsOpts.Tracing()
+		}
+		matcher := bench.PaperMatcherConfig()
+		matcher.Bins = *bins
+		matcher.InFlightBlocks = *inflight
+		opts := mpi.Options{
+			Engine:        engineKind,
+			Matcher:       matcher,
+			DPA:           dpa.Config{Threads: *threads},
+			RecvDepth:     max(2**k, 64),
+			EagerLimit:    1024,
+			CoalesceBytes: *coalesceBytes,
+			CoalesceMsgs:  *coalesceMsgs,
+			Obs:           obsOpts,
+		}
+		var w *mpi.World
+		if *transport == "inproc" {
+			opts.Faults = plan
+			w, err = mpi.NewWorld(*ranks, opts)
+		} else {
+			// Over sockets the fault plan arms the transport's injector;
+			// UDP's unreliability alone already arms the repair sublayer.
+			tr, terr := netfabric.New(netfabric.Config{
+				Network: *transport, Rank: *rank, Ranks: *ranks,
+				Coord: *coord, Faults: plan, Obs: obsOpts,
+			})
+			if terr != nil {
+				fmt.Fprintf(os.Stderr, "msgrate: %v\n", terr)
+				os.Exit(1)
+			}
+			w, err = mpi.NewNetWorld(tr, opts)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "msgrate: %v\n", err)
+			os.Exit(1)
+		}
+		label := fmt.Sprintf("ring-%s-%dx-%s", *transport, *ranks, *engine)
+		res, err := bench.RunMsgRateRing(w, bench.RingConfig{
+			Label: label, K: *k, Reps: *reps, PayloadBytes: *payload,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "msgrate: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(res)
+		if plan.Active() || *transport == "udp" {
+			fmt.Printf("%-22s %12s faults: %v\n", "", "", res.Faults)
+			fmt.Printf("%-22s %12s repair: retransmits=%d dups-dropped=%d out-of-order=%d sacks=%d\n",
+				"", "", res.Reliability.Retransmits, res.Reliability.DupDropped,
+				res.Reliability.OutOfOrder, res.Reliability.Sacks)
+		}
+		// One writer per job: the single in-process run, or rank 0 of the
+		// multi-process job (every process computes the same global rate).
+		if *rank <= 0 {
+			doc.Config.Transport = *transport
+			doc.Config.Ranks = *ranks
+			doc.Config.Cores = runtime.NumCPU()
+			doc.Results = append(doc.Results, bench.BenchEntry{
+				Label:     res.Label,
+				Engine:    engineKind.String(),
+				MsgPerSec: res.MsgPerSec,
+				Messages:  res.Messages,
+				ElapsedNS: res.Elapsed.Nanoseconds(),
+			})
+			writeBench()
+			if *traceOut != "" {
+				if err := obs.WriteTraceFile(*traceOut, res.Sinks); err != nil {
+					fmt.Fprintf(os.Stderr, "msgrate: %v\n", err)
+					os.Exit(1)
+				}
+				fmt.Printf("wrote Chrome trace to %s\n", *traceOut)
+			}
+			if *statsJSON != "" {
+				if err := obs.WriteJSONFile(*statsJSON, res.Sinks); err != nil {
+					fmt.Fprintf(os.Stderr, "msgrate: %v\n", err)
+					os.Exit(1)
+				}
+				fmt.Printf("wrote observability snapshot to %s\n", *statsJSON)
+			}
+		}
+		return
 	}
 
 	if *modeled {

@@ -3,10 +3,16 @@
 // and flows through the selected matching engine — the end-to-end
 // counterpart of the analyzer's trace-timeline emulation.
 //
+// With -transport tcp|udp each trace rank becomes its own OS process over
+// real sockets: the command re-executes itself once per rank (spawning a
+// small coordinator for rank/address exchange), and every process replays
+// its one rank of the same deterministic trace.
+//
 // Usage:
 //
 //	replay -app "BoxLib CNS" -engine offload -scale 25
 //	replay -dir traces/BoxLib_CNS -app "BoxLib CNS"
+//	replay -app AMG -scale 10 -transport tcp
 package main
 
 import (
@@ -14,11 +20,13 @@ import (
 	"fmt"
 	"math/bits"
 	"os"
+	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/mpi"
 	"repro/internal/obs"
 	"repro/internal/rdma"
+	"repro/internal/rdma/netfabric"
 	"repro/internal/replay"
 	"repro/internal/trace"
 	"repro/internal/tracegen"
@@ -37,8 +45,36 @@ func main() {
 		faults        = flag.String("faults", "", "deterministic fault plan, e.g. seed=1,drop=0.05,dup=0.02")
 		traceOut      = flag.String("trace-out", "", "write a Chrome trace_event JSON (chrome://tracing, Perfetto) to this file")
 		statsJSON     = flag.String("stats-json", "", "write observability counter/histogram snapshots as JSON to this file")
+		transport     = flag.String("transport", "inproc", "fabric transport: inproc | tcp | udp")
+		ranks         = flag.Int("ranks", 0, "expected world size (0 = the trace's own rank count; a mismatch is an error)")
+		rank          = flag.Int("rank", -1, "this process's rank (set by the launcher; -1 = launch all ranks)")
+		coord         = flag.String("coord", "", "coordinator address for rank/address exchange (set by the launcher)")
 	)
 	flag.Parse()
+
+	switch {
+	case *transport != "inproc" && *transport != "tcp" && *transport != "udp":
+		fmt.Fprintf(os.Stderr, "replay: -transport %q, want inproc, tcp, or udp\n", *transport)
+		os.Exit(2)
+	case *ranks < 0:
+		fmt.Fprintf(os.Stderr, "replay: -ranks %d must be >= 0\n", *ranks)
+		os.Exit(2)
+	case *transport == "inproc" && (*rank != -1 || *coord != ""):
+		fmt.Fprintf(os.Stderr, "replay: -rank/-coord are only meaningful with -transport tcp|udp\n")
+		os.Exit(2)
+	case *rank < -1 || (*ranks > 0 && *rank >= *ranks):
+		fmt.Fprintf(os.Stderr, "replay: -rank %d outside [0,%d)\n", *rank, *ranks)
+		os.Exit(2)
+	case *rank >= 0 && *coord == "":
+		fmt.Fprintf(os.Stderr, "replay: -rank requires -coord (both are set by the launcher)\n")
+		os.Exit(2)
+	case *rank < 0 && *coord != "":
+		fmt.Fprintf(os.Stderr, "replay: -coord requires -rank\n")
+		os.Exit(2)
+	case *transport == "tcp" && *faults != "":
+		fmt.Fprintf(os.Stderr, "replay: TCP models a reliable transport; lossy runs need -transport udp or -transport inproc\n")
+		os.Exit(2)
+	}
 
 	if *inflight < 1 || *inflight > core.MaxInFlightBlocks {
 		fmt.Fprintf(os.Stderr, "replay: -inflight %d outside [1,%d]\n", *inflight, core.MaxInFlightBlocks)
@@ -82,11 +118,26 @@ func main() {
 		}
 		tr = app.Generate(tracegen.Config{Scale: *scale})
 	}
+	n := tr.NumRanks()
+	if *ranks > 0 && *ranks != n {
+		fmt.Fprintf(os.Stderr, "replay: -ranks %d but the trace has %d ranks\n", *ranks, n)
+		os.Exit(2)
+	}
 
-	fmt.Printf("replaying %s (%d ranks, %d events) on the %v engine...\n",
-		tr.App, tr.NumRanks(), tr.NumEvents(), kind)
+	// Launcher mode: a net transport with no -rank spawns the whole job —
+	// one process per trace rank plus the coordinator — and waits. The
+	// children regenerate the identical trace (the synthetic generators are
+	// deterministic and -dir traces are shared files).
+	if *transport != "inproc" && *rank < 0 {
+		fmt.Printf("launching %d %s rank processes for %s (%d cores)\n",
+			n, *transport, tr.App, runtime.NumCPU())
+		if err := netfabric.Launch(n); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	cfg := replay.Config{Engine: kind}
-	cfg.Options.Faults = plan
 	cfg.Options.Matcher = core.Config{
 		Bins: *bins, MaxReceives: 4096, BlockSize: 8,
 		InFlightBlocks:    *inflight,
@@ -97,7 +148,36 @@ func main() {
 	if *traceOut != "" {
 		cfg.Options.Obs = cfg.Options.Obs.Tracing()
 	}
-	res, err := replay.Run(tr, cfg)
+
+	var res *replay.Result
+	if *transport == "inproc" {
+		fmt.Printf("replaying %s (%d ranks, %d events) on the %v engine...\n",
+			tr.App, n, tr.NumEvents(), kind)
+		cfg.Options.Faults = plan
+		res, err = replay.Run(tr, cfg)
+	} else {
+		// Over sockets the fault plan arms the transport's injector; UDP's
+		// unreliability alone already arms the repair sublayer.
+		fmt.Printf("replaying %s rank %d/%d (%d events) on the %v engine over %s...\n",
+			tr.App, *rank, n, tr.NumEvents(), kind, *transport)
+		cfg.Options.Engine = kind
+		if cfg.Options.RecvDepth == 0 {
+			cfg.Options.RecvDepth = 64
+		}
+		trans, terr := netfabric.New(netfabric.Config{
+			Network: *transport, Rank: *rank, Ranks: n,
+			Coord: *coord, Faults: plan, Obs: cfg.Options.Obs,
+		})
+		if terr != nil {
+			fatal(terr)
+		}
+		var w *mpi.World
+		w, err = mpi.NewNetWorld(trans, cfg.Options)
+		if err != nil {
+			fatal(err)
+		}
+		res, err = replay.RunWorld(tr, cfg, w)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -117,11 +197,16 @@ func main() {
 		fmt.Printf("offloaded matching: %d msgs in %d blocks; %d optimistic, %d conflicts (%d fast, %d slow), %d unexpected\n",
 			m.Messages, m.Blocks, m.Optimistic, m.Conflicts, m.FastPath, m.SlowPath, m.Unexpected)
 	}
-	if plan.Active() {
+	if plan.Active() || *transport == "udp" {
 		fmt.Printf("faults: %v\n", res.Faults)
 		r := res.Reliability
 		fmt.Printf("repair: sent=%d retransmits=%d dups-dropped=%d out-of-order=%d sacks=%d rnr-retries=%d\n",
 			r.Sent, r.Retransmits, r.DupDropped, r.OutOfOrder, r.Sacks, r.SendRNR)
+	}
+	// One writer per job: the single in-process run, or rank 0 of a
+	// multi-process job (each process only has its own ranks' sinks).
+	if *rank > 0 {
+		return
 	}
 	if *traceOut != "" {
 		if err := obs.WriteTraceFile(*traceOut, res.Sinks); err != nil {

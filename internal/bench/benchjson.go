@@ -31,6 +31,15 @@ type BenchConfig struct {
 	CoalesceMsgs  int    `json:"coalesce_msgs"`
 	Faults        string `json:"faults,omitempty"`
 	Modeled       bool   `json:"modeled"`
+	// Transport is the fabric the run used: "" or "inproc" (in-process
+	// channels, the default), "tcp", or "udp" (out-of-process sockets).
+	Transport string `json:"transport,omitempty"`
+	// Ranks is the world size for ring-mode runs (0 for the classic
+	// two-rank Figure 8 ping-pong).
+	Ranks int `json:"ranks,omitempty"`
+	// Cores is runtime.NumCPU() on the measuring host — multi-process
+	// scaling numbers are meaningless without it.
+	Cores int `json:"cores,omitempty"`
 }
 
 // BenchEntry is one scenario's outcome. Wall-clock runs fill Messages /
@@ -54,6 +63,14 @@ func (d *BenchDoc) Validate() error {
 	}
 	if len(d.Results) == 0 {
 		return fmt.Errorf("bench: no results")
+	}
+	switch d.Config.Transport {
+	case "", "inproc", "tcp", "udp":
+	default:
+		return fmt.Errorf("bench: unknown transport %q", d.Config.Transport)
+	}
+	if d.Config.Ranks < 0 {
+		return fmt.Errorf("bench: negative ranks %d", d.Config.Ranks)
 	}
 	seen := make(map[string]bool, len(d.Results))
 	for i, r := range d.Results {

@@ -1,0 +1,191 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/match"
+	"repro/internal/mpi"
+	"repro/internal/obs"
+	"repro/internal/rdma"
+)
+
+// RingConfig describes one multi-rank message-rate run: every rank sends
+// K-message sequences to its ring successor and receives from its
+// predecessor, Reps times. Unlike the Figure 8 ping-pong (two ranks, one
+// direction), the ring keeps every rank's send and receive engines busy
+// simultaneously, so with rank processes pinned to distinct cores the
+// aggregate rate scales with the process count — the workload behind the
+// out-of-process transport measurements in EXPERIMENTS.md §"Multi-process
+// scaling".
+type RingConfig struct {
+	Label string
+	// K is messages per sequence (default 100), Reps the number of
+	// sequences (default 200), PayloadBytes the eager payload (default 8).
+	K, Reps, PayloadBytes int
+}
+
+func (c *RingConfig) fill() {
+	if c.K == 0 {
+		c.K = 100
+	}
+	if c.Reps == 0 {
+		c.Reps = 200
+	}
+	if c.PayloadBytes == 0 {
+		c.PayloadBytes = 8
+	}
+	if c.Label == "" {
+		c.Label = "ring"
+	}
+}
+
+// RingResult is one ring run's outcome as observed by this process.
+type RingResult struct {
+	Label string
+	// Ranks is the world size; LocalRanks how many this process drove.
+	Ranks, LocalRanks int
+	// Messages is the global data-message count (Ranks × K × Reps);
+	// every rank's timing window is barrier-aligned, so the global rate
+	// is Messages over this process's Elapsed.
+	Messages  int
+	Elapsed   time.Duration
+	MsgPerSec float64
+	// Matcher aggregates offload-engine statistics over local ranks.
+	Matcher core.EngineStats
+	// Depth aggregates the local ranks' receive-search profile.
+	Depth match.Stats
+	// Faults and Reliability report the local transport's injected faults
+	// and the local ranks' repair work (meaningful on lossy transports).
+	Faults      rdma.FaultSnapshot
+	Reliability mpi.ReliabilitySnapshot
+	// Sinks are the world's observability sinks, captured before teardown.
+	Sinks []obs.Named
+}
+
+// String renders one result row.
+func (r *RingResult) String() string {
+	return fmt.Sprintf("%-22s %12.0f msg/s  (%d ranks, %d msgs in %v)",
+		r.Label, r.MsgPerSec, r.Ranks, r.Messages, r.Elapsed.Round(time.Millisecond))
+}
+
+const ringReadyTag = 6000 // receiver → predecessor: sequence receives posted
+
+// RunMsgRateRing drives every rank the world hosts — all of them for an
+// in-process world, exactly one for a NewNetWorld member — through the
+// ring workload, and closes the world before reading stats. The flow
+// control mirrors Figure 8's go-token: a rank releases its predecessor's
+// sends only after posting the sequence's receives, so no sequence ever
+// lands unexpected and tag reuse across repetitions cannot cross-match.
+func RunMsgRateRing(w *mpi.World, cfg RingConfig) (*RingResult, error) {
+	cfg.fill()
+	procs := w.LocalProcs()
+	n := w.Size()
+	res := &RingResult{Label: cfg.Label, Ranks: n, LocalRanks: len(procs),
+		Messages: n * cfg.K * cfg.Reps}
+
+	// Every rank barriers at entry and exit of its workload (barriers are
+	// collective, so each hosted rank must make its own calls); the timing
+	// window brackets the goroutines and is barrier-aligned across the job
+	// up to spawn overhead.
+	start := time.Now()
+	errCh := make(chan error, len(procs))
+	var wg sync.WaitGroup
+	for _, p := range procs {
+		wg.Add(1)
+		go func(p *mpi.Proc) {
+			defer wg.Done()
+			errCh <- ringRank(p, cfg)
+		}(p)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			return nil, err
+		}
+	}
+	res.Elapsed = time.Since(start)
+	res.MsgPerSec = float64(res.Messages) / res.Elapsed.Seconds()
+
+	// Quiesce before reading stats: Close waits for the engines' in-flight
+	// blocks to retire, so the counters below have settled.
+	w.Close()
+	for _, p := range procs {
+		if m := p.Matcher(); m != nil {
+			st := m.Stats()
+			res.Matcher.Messages += st.Messages
+			res.Matcher.Blocks += st.Blocks
+			res.Matcher.Optimistic += st.Optimistic
+			res.Matcher.Conflicts += st.Conflicts
+			res.Matcher.FastPath += st.FastPath
+			res.Matcher.SlowPath += st.SlowPath
+			res.Matcher.Unexpected += st.Unexpected
+			d := m.DepthStats()
+			res.Depth.PostSearches += d.PostSearches
+			res.Depth.PostTraversed += d.PostTraversed
+		} else {
+			d := p.HostStats()
+			res.Depth.PostSearches += d.PostSearches
+			res.Depth.PostTraversed += d.PostTraversed
+		}
+	}
+	res.Faults = w.FaultStats()
+	res.Reliability = w.ReliabilityStats()
+	res.Sinks = w.ObsSinks()
+	return res, nil
+}
+
+// ringRank runs one rank's side of the ring. Per repetition: post the K
+// receives from the predecessor, release the predecessor with a ready
+// token, await the successor's token, fire the K sends, and wait for
+// everything. A rank is its own neighbour in a one-rank world, which
+// degenerates to a self-loop throughput test.
+func ringRank(p *mpi.Proc, cfg RingConfig) error {
+	c := p.World()
+	rank, n := c.Rank(), c.Size()
+	next, prev := (rank+1)%n, (rank+n-1)%n
+	payload := make([]byte, cfg.PayloadBytes)
+	bufs := make([][]byte, cfg.K)
+	for i := range bufs {
+		bufs[i] = make([]byte, cfg.PayloadBytes)
+	}
+	if err := c.Barrier(); err != nil {
+		return err
+	}
+	var token [1]byte
+	reqs := make([]*mpi.Request, 0, 2*cfg.K)
+	for rep := 0; rep < cfg.Reps; rep++ {
+		reqs = reqs[:0]
+		for i := 0; i < cfg.K; i++ {
+			req, err := c.Irecv(prev, i, bufs[i])
+			if err != nil {
+				return err
+			}
+			reqs = append(reqs, req)
+		}
+		ready, err := c.Irecv(next, ringReadyTag, token[:])
+		if err != nil {
+			return err
+		}
+		if err := c.Send(prev, ringReadyTag, nil); err != nil {
+			return err
+		}
+		if _, err := ready.Wait(); err != nil {
+			return err
+		}
+		for i := 0; i < cfg.K; i++ {
+			req, err := c.Isend(next, i, payload)
+			if err != nil {
+				return err
+			}
+			reqs = append(reqs, req)
+		}
+		if err := mpi.Waitall(reqs...); err != nil {
+			return err
+		}
+	}
+	return c.Barrier()
+}

@@ -156,7 +156,7 @@ func (p *Proc) isend(dst, tag int, comm match.CommID, data []byte) (*Request, er
 			return nil, err
 		}
 	}
-	mr := p.w.fabric.RegisterMemory(data)
+	mr := p.w.register(data)
 	p.pendMu.Lock()
 	p.pending[mr.RKey] = &pendingSend{req: req, mr: mr, dst: dst, tag: tag}
 	p.pendMu.Unlock()
@@ -169,7 +169,7 @@ func (p *Proc) isend(dst, tag int, comm match.CommID, data []byte) (*Request, er
 		p.pendMu.Lock()
 		delete(p.pending, mr.RKey)
 		p.pendMu.Unlock()
-		p.w.fabric.Deregister(mr)
+		p.w.deregister(mr)
 		return nil, err
 	}
 	return req, nil

@@ -179,11 +179,21 @@ func (o *Options) frameCap() int {
 // ErrTruncated is reported when a message is longer than the posted buffer.
 var ErrTruncated = errors.New("mpi: message truncated (buffer too small)")
 
-// World is a set of in-process ranks.
+// World is a set of communicating ranks. NewWorld builds the classic
+// in-process world: every rank lives in this process, fully connected by
+// fabric QPs. NewNetWorld builds an out-of-process world: this process
+// hosts exactly one rank and an rdma.Transport (e.g. netfabric TCP/UDP)
+// carries the wire traffic to peer processes.
 type World struct {
-	opts   Options
+	opts Options
+	n    int // job size (== len(procs) only for in-process worlds)
+
+	// Exactly one of fabric/trans is non-nil: the in-process channel fabric
+	// or the pluggable socket transport of a networked world.
 	fabric *rdma.Fabric
-	procs  []*Proc
+	trans  rdma.Transport
+
+	procs []*Proc
 
 	// envPool recycles matching envelopes across all ranks' arrival paths;
 	// slab recycles every variable-length scratch buffer — eager/frame wire
@@ -204,7 +214,7 @@ func NewWorld(n int, opts Options) (*World, error) {
 		return nil, fmt.Errorf("mpi: world size must be >= 1, got %d", n)
 	}
 	opts.fill()
-	w := &World{opts: opts, fabric: rdma.NewFabric()}
+	w := &World{opts: opts, n: n, fabric: rdma.NewFabric()}
 	w.fabric.SetObs(obs.New(opts.Obs)) // before ConnectPair: injectors capture the sink
 	w.fabric.SetFaults(opts.Faults)    // before ConnectPair: QPs inherit injectors
 	w.recvs.New = func() any { return new(match.Recv) }
@@ -227,7 +237,7 @@ func NewWorld(n int, opts Options) (*World, error) {
 				rdma.QPConfig{Depth: opts.RecvDepth},
 				rdma.QPConfig{RecvCQ: dst.rawCQ, RQ: dst.srq, Depth: opts.RecvDepth},
 			)
-			src.sendQP[j] = sendEnd
+			src.sendEP[j] = sendEnd
 		}
 	}
 	for _, p := range w.procs {
@@ -238,11 +248,74 @@ func NewWorld(n int, opts Options) (*World, error) {
 	return w, nil
 }
 
-// Size returns the number of ranks.
-func (w *World) Size() int { return len(w.procs) }
+// Size returns the number of ranks in the job (across all processes for a
+// networked world).
+func (w *World) Size() int { return w.n }
 
-// Proc returns the process object for a rank.
-func (w *World) Proc(rank int) *Proc { return w.procs[rank] }
+// Proc returns the process object for a rank. In a networked world only
+// the locally hosted rank is addressable.
+func (w *World) Proc(rank int) *Proc {
+	if w.trans != nil {
+		p := w.procs[0]
+		if rank != p.rank {
+			panic(fmt.Sprintf("mpi: rank %d is not hosted by this process (local rank %d)", rank, p.rank))
+		}
+		return p
+	}
+	return w.procs[rank]
+}
+
+// LocalProcs returns the ranks hosted by this process: all of them for an
+// in-process world, exactly one for a networked world.
+func (w *World) LocalProcs() []*Proc { return w.procs }
+
+// Hosts reports whether rank runs in this process.
+func (w *World) Hosts(rank int) bool {
+	if w.trans != nil {
+		return rank == w.procs[0].rank
+	}
+	return rank >= 0 && rank < len(w.procs)
+}
+
+// relNeeded reports whether procs must interpose the reliability sublayer:
+// under an injected fault plan, and always on a lossy transport (UDP),
+// where the sublayer stops being test harness and becomes load-bearing.
+func (w *World) relNeeded() bool {
+	return w.opts.Faults.Active() || (w.trans != nil && !w.trans.Reliable())
+}
+
+// register, deregister and read dispatch the rendezvous protocol's
+// one-sided memory operations to whichever dataplane the world runs on.
+func (w *World) register(buf []byte) *rdma.MemoryRegion {
+	if w.trans != nil {
+		return w.trans.RegisterMemory(buf)
+	}
+	return w.fabric.RegisterMemory(buf)
+}
+
+func (w *World) deregister(mr *rdma.MemoryRegion) {
+	if w.trans != nil {
+		w.trans.Deregister(mr)
+		return
+	}
+	w.fabric.Deregister(mr)
+}
+
+func (w *World) read(owner int, dst []byte, rkey uint64, offset, length int) error {
+	if w.trans != nil {
+		return w.trans.Read(owner, dst, rkey, offset, length)
+	}
+	return w.fabric.Read(dst, rkey, offset, length, nil, 0)
+}
+
+// fabricSink returns the dataplane's observability sink — the "fabric"
+// domain of the world's export.
+func (w *World) fabricSink() *obs.Sink {
+	if w.trans != nil {
+		return w.trans.Obs()
+	}
+	return w.fabric.Obs()
+}
 
 // Close tears the world down. Call only after all outstanding traffic has
 // completed (e.g. after Waitall/Barrier).
@@ -256,9 +329,21 @@ func (w *World) Close() {
 				p.coal.shutdown()
 			}
 		}
+		// Networked worlds: a peer process may still be waiting on this
+		// rank's last reliable messages (its barrier release, a final ack) —
+		// hold the wire open until everything pending is acked, bounded.
+		// In-process worlds skip this: Close runs only after every rank's
+		// traffic completed, so the windows are already settled.
+		if w.trans != nil {
+			for _, p := range w.procs {
+				if p.rel != nil {
+					p.rel.flush(relFlushTimeout)
+				}
+			}
+		}
 		for _, p := range w.procs {
-			for _, qp := range p.sendQP {
-				qp.Close()
+			for _, ep := range p.sendEP {
+				ep.Close()
 			}
 		}
 		// Stop the reliability filters before the engines: each filter
@@ -271,11 +356,19 @@ func (w *World) Close() {
 		for _, p := range w.procs {
 			p.engine.close()
 		}
+		// Networked worlds: tear the socket transport down last, releasing
+		// the delivery goroutines (late peer traffic lands on closed CQs,
+		// which absorb it harmlessly).
+		if w.trans != nil {
+			_ = w.trans.Close()
+		}
 	})
 }
 
-// FaultStats returns the fabric-wide injected-fault counters.
-func (w *World) FaultStats() rdma.FaultSnapshot { return w.fabric.FaultStats() }
+// FaultStats returns the dataplane's injected-fault counters.
+func (w *World) FaultStats() rdma.FaultSnapshot {
+	return rdma.FaultSnapshotOf(w.fabricSink())
+}
 
 // ReliabilityStats aggregates the reliability sublayer's counters across
 // all ranks; the zero snapshot is returned when faults are inactive.
@@ -297,7 +390,7 @@ func (w *World) ObsSinks() []obs.Named {
 	for _, p := range w.procs {
 		out = append(out, obs.Named{Name: fmt.Sprintf("rank%d", p.rank), Sink: p.obs})
 	}
-	out = append(out, obs.Named{Name: "fabric", Sink: w.fabric.Obs()})
+	out = append(out, obs.Named{Name: "fabric", Sink: w.fabricSink()})
 	return out
 }
 
@@ -307,10 +400,11 @@ type Proc struct {
 	rank int
 	n    int
 
-	sendQP []*rdma.QP
+	sendEP []rdma.Endpoint
 	// rawCQ receives fabric completions; recvCQ is what the engine
 	// drains. They are the same queue on a lossless fabric; under an
-	// active fault plan the reliability filter sits between them.
+	// active fault plan (or over a lossy transport) the reliability
+	// filter sits between them.
 	rawCQ  *rdma.CQ
 	recvCQ *rdma.CQ
 	srq    *rdma.RecvQueue
@@ -343,14 +437,14 @@ func newProc(w *World, rank, n int) (*Proc, error) {
 		w:       w,
 		rank:    rank,
 		n:       n,
-		sendQP:  make([]*rdma.QP, n),
+		sendEP:  make([]rdma.Endpoint, n),
 		recvCQ:  rdma.NewCQ(),
 		srq:     rdma.NewRecvQueue(w.opts.RecvDepth),
 		pending: make(map[uint64]*pendingSend),
 		obs:     obs.New(w.opts.Obs),
 	}
 	p.rawCQ = p.recvCQ
-	if w.opts.Faults.Active() {
+	if w.relNeeded() {
 		// Interpose the reliability filter: the fabric fills rawCQ, the
 		// filter republishes repaired streams onto recvCQ for the engine.
 		p.rawCQ = rdma.NewCQ()
@@ -465,7 +559,7 @@ func (p *Proc) deliverMatch(r *match.Recv, env *match.Envelope) {
 			p.sendAck(int(env.Source), env.SenderKey)
 			return
 		}
-		if err := p.w.fabric.Read(r.Buffer[:n], env.SenderKey, 0, n, nil, 0); err != nil {
+		if err := p.w.read(int(env.Source), r.Buffer[:n], env.SenderKey, 0, n); err != nil {
 			req.complete(st, err)
 			return
 		}
@@ -526,7 +620,7 @@ func (p *Proc) sendWire(dst int, wire []byte) error {
 	if p.rel != nil {
 		return p.rel.send(dst, wire)
 	}
-	return p.sendQP[dst].Send(wire, 0, 0)
+	return p.sendEP[dst].Send(wire, 0, 0)
 }
 
 // sendAck notifies a sender that its rendezvous data has been read.
@@ -547,7 +641,7 @@ func (p *Proc) handleAck(h header) {
 	if !ok {
 		return
 	}
-	p.w.fabric.Deregister(ps.mr)
+	p.w.deregister(ps.mr)
 	ps.req.complete(Status{Source: ps.dst, Tag: ps.tag, Count: len(ps.mr.Buf)}, nil)
 }
 

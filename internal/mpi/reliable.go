@@ -155,10 +155,10 @@ func newReliability(p *Proc, timeout time.Duration) *reliability {
 	rel := newReliabilityCore(p.n, timeout)
 	rel.p = p
 	rel.xmit = func(dst int, wire []byte) error {
-		return p.sendQP[dst].Send(wire, 0, 0)
+		return p.sendEP[dst].Send(wire, 0, 0)
 	}
 	rel.xmitControl = func(dst int, wire []byte) error {
-		return p.sendQP[dst].SendControl(wire, 0, 0)
+		return p.sendEP[dst].SendControl(wire, 0, 0)
 	}
 	// Retained retransmit copies come from the size-classed slab: frames
 	// can be far larger than a lone eager message, and the slab keeps the
@@ -176,12 +176,53 @@ func (rel *reliability) start() {
 }
 
 // shutdown stops both goroutines. The raw CQ must be closed first so run
-// drains and exits; pending unacked messages are abandoned (world close
-// implies all application traffic already completed).
+// drains and exits; pending unacked messages are abandoned — for an
+// in-process world every rank has completed its traffic by Close, and a
+// networked world runs flush first (World.Close) so abandonment only
+// happens after the flush bound expires.
 func (rel *reliability) shutdown() {
 	rel.p.rawCQ.Close()
 	close(rel.stop)
 	rel.wg.Wait()
+}
+
+// relFlushTimeout bounds how long a networked world's Close keeps the
+// repair machinery alive waiting for peers to ack the rank's final sends.
+const relFlushTimeout = 2 * time.Second
+
+// flush blocks until every retained reliable send has been acked, or the
+// bound expires (reporting false). A single-rank networked world must run
+// this before tearing its endpoints down: the local rank completing its
+// traffic says nothing about delivery to peer processes — its last message
+// (typically a barrier release) may have been dropped, and only this
+// rank's retransmit timer can repair that. The retransmit and receive
+// goroutines are still running here, so the loop just polls the windows.
+func (rel *reliability) flush(bound time.Duration) bool {
+	deadline := rel.now().Add(bound)
+	step := rel.retxTimeout / 2
+	if step < time.Millisecond {
+		step = time.Millisecond
+	}
+	for {
+		empty := true
+		for i := range rel.sends {
+			s := &rel.sends[i]
+			s.mu.Lock()
+			pending := len(s.pending)
+			s.mu.Unlock()
+			if pending > 0 {
+				empty = false
+				break
+			}
+		}
+		if empty {
+			return true
+		}
+		if !rel.now().Before(deadline) {
+			return false
+		}
+		time.Sleep(step)
+	}
 }
 
 // seqBefore reports a < b in wraparound-safe sequence arithmetic.

@@ -129,6 +129,29 @@ const (
 	// CtrAnalyzerEvents counts trace events replayed.
 	CtrAnalyzerEvents
 
+	// Network-transport counters (internal/rdma/netfabric): the socket
+	// datapath of out-of-process worlds. They live in the transport's sink,
+	// which takes the "fabric" slot of the world's export.
+
+	// CtrNetTxFrames counts frames handed to the socket layer.
+	CtrNetTxFrames
+	// CtrNetTxBytes counts encoded frame bytes transmitted.
+	CtrNetTxBytes
+	// CtrNetRxFrames counts frames decoded off the socket.
+	CtrNetRxFrames
+	// CtrNetRxBytes counts encoded frame bytes received.
+	CtrNetRxBytes
+	// CtrNetFlushes counts writev flushes (one per batched net.Buffers
+	// write of a TCP peer writer; one per datagram on UDP).
+	CtrNetFlushes
+	// CtrNetStalls counts sends that blocked on a saturated peer queue.
+	CtrNetStalls
+	// CtrNetReadReqs counts rendezvous read requests issued to peers.
+	CtrNetReadReqs
+	// CtrNetReadRetries counts read requests re-sent after a timeout
+	// (UDP: the request or its response was lost).
+	CtrNetReadRetries
+
 	// NumCounters bounds the enum; it must stay last.
 	NumCounters
 )
@@ -179,6 +202,14 @@ var counterNames = [NumCounters]string{
 	CtrCoalesceFlushTimeout: "coalesce_flush_timeout",
 	CtrAnalyzerShards:       "analyzer_shards",
 	CtrAnalyzerEvents:       "analyzer_events",
+	CtrNetTxFrames:          "net_tx_frames",
+	CtrNetTxBytes:           "net_tx_bytes",
+	CtrNetRxFrames:          "net_rx_frames",
+	CtrNetRxBytes:           "net_rx_bytes",
+	CtrNetFlushes:           "net_flushes",
+	CtrNetStalls:            "net_stalls",
+	CtrNetReadReqs:          "net_read_reqs",
+	CtrNetReadRetries:       "net_read_retries",
 }
 
 // String returns the counter's stable snapshot key.

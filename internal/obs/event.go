@@ -65,6 +65,9 @@ const (
 	// (0 size, 1 count, 2 sync, 3 timeout), B=sub-message count, C=frame
 	// bytes on the wire; Worker=destination rank.
 	EvCoalesceFlush
+	// EvNetStall: a socket-transport send blocked on a saturated peer
+	// queue. A=peer rank, B=frame bytes; Worker=peer rank.
+	EvNetStall
 
 	// NumKinds bounds the enum; it must stay last.
 	NumKinds
@@ -88,6 +91,7 @@ var kindNames = [NumKinds]string{
 	EvAck:              "ack",
 	EvAnalyzerShard:    "analyzer_shard",
 	EvAnalyzerPhase:    "analyzer_phase",
+	EvNetStall:         "net_stall",
 	EvCoalesceFlush:    "coalesce_flush",
 }
 

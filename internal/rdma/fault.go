@@ -117,8 +117,13 @@ func (f *Fabric) SetFaults(p FaultPlan) {
 }
 
 // FaultStats returns a snapshot of the fault counters.
-func (f *Fabric) FaultStats() FaultSnapshot {
-	c := &f.obs.Counters
+func (f *Fabric) FaultStats() FaultSnapshot { return FaultSnapshotOf(f.obs) }
+
+// FaultSnapshotOf reads the fault counters out of any dataplane sink — the
+// in-process fabric's or a netfabric transport's (both tally injected
+// faults on the obs.CtrFault* range).
+func FaultSnapshotOf(s *obs.Sink) FaultSnapshot {
+	c := &s.Counters
 	return FaultSnapshot{
 		Dropped:    c.Load(obs.CtrFaultDropped),
 		Duplicated: c.Load(obs.CtrFaultDuplicated),

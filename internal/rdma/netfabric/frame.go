@@ -1,0 +1,138 @@
+package netfabric
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+)
+
+// Frame kinds. One codec covers both transports: on TCP a frame is one
+// unit of the byte stream, on UDP a frame is one datagram.
+const (
+	// frData carries one MPI wire message (64-byte header + body) —
+	// eager, coalesced kindEagerBatch, RTS, ACK, or sack — unchanged.
+	frData byte = iota + 1
+	// frHello opens a TCP link: the dialer identifies its rank (empty
+	// payload; the src field carries the rank).
+	frHello
+	// frReadReq asks the owner of a registered region for its bytes —
+	// the request half of the rendezvous one-sided READ.
+	// Payload: reqID uvarint, rkey uvarint, offset uvarint, length uvarint.
+	frReadReq
+	// frReadResp answers a read request.
+	// Payload: reqID uvarint, status byte, data.
+	frReadResp
+)
+
+// Read-response status codes.
+const (
+	readOK byte = iota
+	readBadKey
+	readBadBounds
+	readTooLarge // region slice exceeds the transport's frame budget
+)
+
+// maxFramePayload bounds one frame's payload: the slab's largest size
+// class. The decoder rejects anything bigger before allocating or reading,
+// so a hostile or corrupt length prefix cannot drive memory use.
+const maxFramePayload = 1 << 20
+
+// Encoded frame layout, after the varint discipline of
+// internal/trace/codec.go (uvarint for the almost-always-small integers):
+//
+//	length  uvarint  // bytes that follow this field (kind + src + payload)
+//	kind    byte
+//	src     uvarint  // sending rank
+//	payload (length - 1 - len(src varint)) bytes
+type frame struct {
+	kind    byte
+	src     int
+	payload []byte
+}
+
+// uvarintLen is the encoded size of v as a uvarint.
+func uvarintLen(v uint64) int { return (bits.Len64(v|1) + 6) / 7 }
+
+// appendFrame appends one encoded frame to dst.
+func appendFrame(dst []byte, kind byte, src int, payload []byte) []byte {
+	body := 1 + uvarintLen(uint64(src)) + len(payload)
+	dst = binary.AppendUvarint(dst, uint64(body))
+	dst = append(dst, kind)
+	dst = binary.AppendUvarint(dst, uint64(src))
+	return append(dst, payload...)
+}
+
+// frameSize is the exact encoded size appendFrame will produce, so pooled
+// frame buffers can be sized without a second pass.
+func frameSize(src int, payload int) int {
+	body := 1 + uvarintLen(uint64(src)) + payload
+	return uvarintLen(uint64(body)) + body
+}
+
+// decodeFrame parses one frame from the front of b and returns the rest of
+// the buffer (further frames, or garbage the caller rejects). The payload
+// aliases b. Every length is validated before use, so arbitrary bytes can
+// never panic, over-read, or drive a huge allocation.
+func decodeFrame(b []byte) (frame, []byte, error) {
+	body, n := binary.Uvarint(b)
+	if n <= 0 {
+		return frame{}, nil, fmt.Errorf("netfabric: truncated frame length")
+	}
+	if body < 2 {
+		return frame{}, nil, fmt.Errorf("netfabric: frame body %d bytes, need kind+src", body)
+	}
+	if body > maxFramePayload {
+		return frame{}, nil, fmt.Errorf("netfabric: frame body %d exceeds %d", body, maxFramePayload)
+	}
+	b = b[n:]
+	if uint64(len(b)) < body {
+		return frame{}, nil, fmt.Errorf("netfabric: frame needs %d bytes, have %d", body, len(b))
+	}
+	kind := b[0]
+	if kind < frData || kind > frReadResp {
+		return frame{}, nil, fmt.Errorf("netfabric: unknown frame kind %d", kind)
+	}
+	src, sn := binary.Uvarint(b[1:body])
+	if sn <= 0 {
+		return frame{}, nil, fmt.Errorf("netfabric: truncated frame src")
+	}
+	if src > 1<<20 {
+		return frame{}, nil, fmt.Errorf("netfabric: frame src %d out of range", src)
+	}
+	f := frame{kind: kind, src: int(src), payload: b[1+sn : body : body]}
+	return f, b[body:], nil
+}
+
+// appendReadReq encodes a frReadReq payload.
+func appendReadReq(dst []byte, reqID, rkey uint64, offset, length int) []byte {
+	dst = binary.AppendUvarint(dst, reqID)
+	dst = binary.AppendUvarint(dst, rkey)
+	dst = binary.AppendUvarint(dst, uint64(offset))
+	return binary.AppendUvarint(dst, uint64(length))
+}
+
+// parseReadReq decodes a frReadReq payload.
+func parseReadReq(p []byte) (reqID, rkey uint64, offset, length int, err error) {
+	var vals [4]uint64
+	for i := range vals {
+		v, n := binary.Uvarint(p)
+		if n <= 0 {
+			return 0, 0, 0, 0, fmt.Errorf("netfabric: truncated read request (field %d)", i)
+		}
+		vals[i] = v
+		p = p[n:]
+	}
+	if vals[2] > maxFramePayload || vals[3] > maxFramePayload {
+		return 0, 0, 0, 0, fmt.Errorf("netfabric: read request range out of bounds")
+	}
+	return vals[0], vals[1], int(vals[2]), int(vals[3]), nil
+}
+
+// parseReadResp decodes a frReadResp payload; data aliases p.
+func parseReadResp(p []byte) (reqID uint64, status byte, data []byte, err error) {
+	id, n := binary.Uvarint(p)
+	if n <= 0 || len(p) < n+1 {
+		return 0, 0, nil, fmt.Errorf("netfabric: truncated read response")
+	}
+	return id, p[n], p[n+1:], nil
+}

@@ -1,0 +1,62 @@
+package netfabric
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"strconv"
+)
+
+// Launch is the multi-process front door for cmd/msgrate and cmd/replay:
+// invoked in a process whose flags name N ranks but no specific one, it
+// starts an in-process coordinator, re-executes the current binary once
+// per rank with `-rank K -coord <addr>` appended (the flag package keeps
+// the last occurrence, so the appended pair overrides any earlier
+// values), and waits for all of them. Children inherit stdout/stderr;
+// callers make rank 0 the only writer of result files.
+func Launch(ranks int) error {
+	if ranks < 1 {
+		return fmt.Errorf("netfabric: launch needs at least 1 rank, got %d", ranks)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return fmt.Errorf("netfabric: resolve executable: %w", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("netfabric: coordinator listen: %w", err)
+	}
+	defer ln.Close()
+	coordErr := make(chan error, 1)
+	go func() { coordErr <- ServeCoordinator(ln, ranks) }()
+
+	procs := make([]*exec.Cmd, 0, ranks)
+	var firstErr error
+	for k := 0; k < ranks; k++ {
+		args := append(append([]string{}, os.Args[1:]...),
+			"-rank", strconv.Itoa(k), "-coord", ln.Addr().String())
+		cmd := exec.Command(exe, args...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			firstErr = fmt.Errorf("netfabric: start rank %d: %w", k, err)
+			break
+		}
+		procs = append(procs, cmd)
+	}
+	for k, cmd := range procs {
+		if err := cmd.Wait(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("netfabric: rank %d: %w", k, err)
+		}
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	// The coordinator returns once every rank registered; by the time all
+	// children exited cleanly it must be done.
+	if err := <-coordErr; err != nil {
+		return fmt.Errorf("netfabric: coordinator: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,207 @@
+package netfabric_test
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/mpi"
+	"repro/internal/rdma"
+	"repro/internal/rdma/netfabric"
+)
+
+// startNetWorlds spins up a full out-of-process-shaped job inside one test
+// process: a coordinator on a loopback listener and n transports + worlds,
+// one per rank, created concurrently (New blocks on the rendezvous
+// barrier, so sequential creation would deadlock).
+func startNetWorlds(t *testing.T, network string, n int, opts mpi.Options, faults rdma.FaultPlan) []*mpi.World {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("coordinator listen: %v", err)
+	}
+	go netfabric.ServeCoordinator(ln, n)
+
+	worlds := make([]*mpi.World, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for k := 0; k < n; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			tr, err := netfabric.New(netfabric.Config{
+				Network: network, Rank: k, Ranks: n,
+				Coord: ln.Addr().String(), Faults: faults,
+			})
+			if err != nil {
+				errs[k] = err
+				return
+			}
+			worlds[k], errs[k] = mpi.NewNetWorld(tr, opts)
+		}(k)
+	}
+	wg.Wait()
+	ln.Close()
+	for k, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", k, err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, w := range worlds {
+			if w != nil {
+				w.Close()
+			}
+		}
+	})
+	return worlds
+}
+
+// ringWorkload sends eager and rendezvous messages around the ring and
+// verifies every payload byte, on every world concurrently.
+func ringWorkload(t *testing.T, worlds []*mpi.World, reps, size int) {
+	t.Helper()
+	n := len(worlds)
+	var wg sync.WaitGroup
+	errCh := make(chan error, n)
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			c := worlds[r].LocalProcs()[0].World()
+			next, prev := (r+1)%n, (r+n-1)%n
+			for i := 0; i < reps; i++ {
+				want := payload(prev, i, size)
+				buf := make([]byte, size)
+				rreq, err := c.Irecv(prev, i, buf)
+				if err != nil {
+					errCh <- fmt.Errorf("rank %d irecv rep %d: %v", r, i, err)
+					return
+				}
+				if err := c.Send(next, i, payload(r, i, size)); err != nil {
+					errCh <- fmt.Errorf("rank %d send rep %d: %v", r, i, err)
+					return
+				}
+				st, err := rreq.Wait()
+				if err != nil {
+					errCh <- fmt.Errorf("rank %d recv rep %d: %v", r, i, err)
+					return
+				}
+				if st.Count != size || !bytes.Equal(buf[:st.Count], want) {
+					errCh <- fmt.Errorf("rank %d rep %d: payload mismatch (%d bytes)", r, i, st.Count)
+					return
+				}
+			}
+			errCh <- c.Barrier()
+		}(r)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func payload(rank, rep, size int) []byte {
+	b := make([]byte, size)
+	for i := range b {
+		b[i] = byte(rank*31 + rep*7 + i)
+	}
+	return b
+}
+
+func TestTCPRingEagerAndRendezvous(t *testing.T) {
+	opts := mpi.Options{EagerLimit: 256}
+	worlds := startNetWorlds(t, "tcp", 3, opts, rdma.FaultPlan{})
+	// Eager traffic (64 < EagerLimit), then rendezvous (8192 > EagerLimit,
+	// exercising the frReadReq/frReadResp read path).
+	ringWorkload(t, worlds, 20, 64)
+	ringWorkload(t, worlds, 5, 8192)
+}
+
+func TestTCPOffloadEngine(t *testing.T) {
+	opts := mpi.Options{Engine: mpi.EngineOffload, EagerLimit: 256}
+	worlds := startNetWorlds(t, "tcp", 2, opts, rdma.FaultPlan{})
+	ringWorkload(t, worlds, 10, 64)
+}
+
+func TestUDPRingWithFaults(t *testing.T) {
+	faults := rdma.FaultPlan{Seed: 42}
+	faults.Drop = 0.05
+	faults.Duplicate = 0.02
+	faults.Delay = 0.02
+	opts := mpi.Options{EagerLimit: 256, RetxTimeout: time.Millisecond}
+	worlds := startNetWorlds(t, "udp", 2, opts, faults)
+	ringWorkload(t, worlds, 40, 64)
+	ringWorkload(t, worlds, 4, 4096)
+
+	var retx, injected uint64
+	for _, w := range worlds {
+		retx += w.ReliabilityStats().Retransmits
+		fs := w.FaultStats()
+		injected += fs.Dropped + fs.Duplicated + fs.Delayed
+	}
+	if injected == 0 {
+		t.Fatalf("fault plan injected nothing (want drops/dups/delays at 5%%/2%%/2%%)")
+	}
+	if retx == 0 {
+		t.Fatalf("no retransmissions despite %d injected faults", injected)
+	}
+}
+
+func TestUDPLossless(t *testing.T) {
+	// Loopback UDP with no injected faults should still complete (the
+	// reliability layer is armed but mostly idle).
+	worlds := startNetWorlds(t, "udp", 2, mpi.Options{EagerLimit: 256}, rdma.FaultPlan{})
+	ringWorkload(t, worlds, 10, 64)
+}
+
+func TestCoordinatorRejectsDuplicateRank(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan error, 1)
+	go func() { done <- netfabric.ServeCoordinator(ln, 2) }()
+
+	// Two hellos claiming the same rank: the round must fail, not hang.
+	for i := 0; i < 2; i++ {
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		if _, err := fmt.Fprintf(conn, `{"rank":0,"ranks":2,"addr":"127.0.0.1:1"}`+"\n"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("coordinator accepted a short round")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("coordinator did not fail the round")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []netfabric.Config{
+		{Network: "sctp", Rank: 0, Ranks: 2, Coord: "x"},
+		{Network: "tcp", Rank: 2, Ranks: 2, Coord: "x"},
+		{Network: "tcp", Rank: -1, Ranks: 2, Coord: "x"},
+		{Network: "udp", Rank: 0, Ranks: 0, Coord: "x"},
+		{Network: "tcp", Rank: 0, Ranks: 2},
+	}
+	for i, cfg := range cases {
+		if _, err := netfabric.New(cfg); err == nil {
+			t.Errorf("case %d: config %+v accepted, want error", i, cfg)
+		}
+	}
+}

@@ -1,0 +1,481 @@
+package netfabric
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/rdma"
+)
+
+// tcpTransport carries the world over one TCP connection per unordered
+// rank pair. The stream gives ordered exactly-once delivery, so it
+// reports Reliable() and the MPI layer treats it like the in-process
+// fabric. Each peer gets a dedicated writer goroutine draining a send
+// queue into batched writev flushes (net.Buffers), and each connection a
+// reader goroutine that parses frames straight into posted bounce
+// buffers — the steady-state receive path performs one copy and no
+// allocation.
+type tcpTransport struct {
+	base
+	cfg   Config
+	ln    net.Listener
+	addrs []string
+	peers []*tcpPeer // nil at [rank]
+	loop  *loopEndpoint
+	// Writers and readers tear down in two phases: Close waits for the
+	// writers to drain their queues before it closes the connections the
+	// readers block on — an eager send "completes" once staged, so the
+	// final frames of a quiescing world (e.g. the closing barrier's
+	// release tokens) are still in flight when Close is called.
+	wgWriters sync.WaitGroup
+	wgReaders sync.WaitGroup
+}
+
+// tcpPeer is one remote rank's link: the connection, its buffered reader,
+// and the outbound frame queue its writer goroutine drains.
+type tcpPeer struct {
+	t     *tcpTransport
+	rank  int
+	conn  net.Conn
+	br    *frameReader
+	sendq chan []byte
+}
+
+// frameReader is a minimal buffered reader exposing exactly what the frame
+// parser needs (ReadByte for uvarints, ReadFull into bounce buffers,
+// Discard for oversize payloads), so the hot path stays inlineable.
+type frameReader struct {
+	r   io.Reader
+	buf []byte
+	pos int
+	end int
+}
+
+func newBufReader(r io.Reader) *frameReader { return &frameReader{r: r, buf: make([]byte, 64<<10)} }
+
+func (b *frameReader) fill() error {
+	if b.pos < b.end {
+		return nil
+	}
+	n, err := b.r.Read(b.buf)
+	if n > 0 {
+		b.pos, b.end = 0, n
+		return nil
+	}
+	if err == nil {
+		err = io.ErrNoProgress
+	}
+	return err
+}
+
+func (b *frameReader) ReadByte() (byte, error) {
+	if err := b.fill(); err != nil {
+		return 0, err
+	}
+	c := b.buf[b.pos]
+	b.pos++
+	return c, nil
+}
+
+// ReadFull fills p from the buffered bytes first, then the connection.
+func (b *frameReader) ReadFull(p []byte) error {
+	n := copy(p, b.buf[b.pos:b.end])
+	b.pos += n
+	if n == len(p) {
+		return nil
+	}
+	_, err := io.ReadFull(b.r, p[n:])
+	return err
+}
+
+// Discard skips n bytes.
+func (b *frameReader) Discard(n int) error {
+	buffered := b.end - b.pos
+	if n <= buffered {
+		b.pos += n
+		return nil
+	}
+	b.pos = b.end
+	_, err := io.CopyN(io.Discard, b.r, int64(n-buffered))
+	return err
+}
+
+func newTCP(cfg Config) (rdma.Transport, error) {
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("netfabric: listen: %w", err)
+	}
+	addrs, err := registerWithCoord(cfg.Coord, cfg.Rank, cfg.Ranks, ln.Addr().String())
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	t := &tcpTransport{base: newBase(cfg), cfg: cfg, ln: ln, addrs: addrs}
+	// Peer structs (and their send queues) exist from construction so
+	// endpoints can be handed out before Start meshes the connections;
+	// frames staged early simply wait for the writer goroutine.
+	t.peers = make([]*tcpPeer, cfg.Ranks)
+	for j := range t.peers {
+		if j == cfg.Rank {
+			continue
+		}
+		t.peers[j] = &tcpPeer{t: t, rank: j, sendq: make(chan []byte, cfg.SendQueue)}
+	}
+	t.loop = newLoopback(&t.base, true, cfg.SendQueue)
+	return t, nil
+}
+
+func (t *tcpTransport) Reliable() bool { return true }
+
+func (t *tcpTransport) Endpoint(peer int) rdma.Endpoint {
+	if peer == t.rank {
+		return t.loop
+	}
+	return t.peers[peer]
+}
+
+// Start meshes the job — rank i dials every j > i and accepts exactly i
+// inbound links, each opened by a frHello identifying the dialer — then
+// launches the per-connection readers and per-peer writers.
+func (t *tcpTransport) Start(rq *rdma.RecvQueue, cq *rdma.CQ) error {
+	t.rq, t.cq = rq, cq
+
+	acceptErr := make(chan error, 1)
+	go func() { acceptErr <- t.acceptPeers() }()
+	for j := t.rank + 1; j < t.n; j++ {
+		conn, err := net.Dial("tcp", t.addrs[j])
+		if err != nil {
+			return fmt.Errorf("netfabric: dial rank %d: %w", j, err)
+		}
+		hello := appendFrame(nil, frHello, t.rank, nil)
+		if _, err := conn.Write(hello); err != nil {
+			return fmt.Errorf("netfabric: hello to rank %d: %w", j, err)
+		}
+		t.attach(j, conn, newBufReader(conn))
+	}
+	if err := <-acceptErr; err != nil {
+		return err
+	}
+
+	t.wgReaders.Add(1)
+	go func() { defer t.wgReaders.Done(); t.loop.run() }()
+	for _, p := range t.peers {
+		if p == nil {
+			continue
+		}
+		t.wgWriters.Add(1)
+		t.wgReaders.Add(1)
+		go func(p *tcpPeer) { defer t.wgWriters.Done(); p.writer() }(p)
+		go func(p *tcpPeer) { defer t.wgReaders.Done(); p.reader() }(p)
+	}
+	return nil
+}
+
+// acceptPeers collects the inbound half of the mesh: one connection from
+// every lower rank, identified by its hello frame.
+func (t *tcpTransport) acceptPeers() error {
+	for got := 0; got < t.rank; got++ {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return fmt.Errorf("netfabric: accept: %w", err)
+		}
+		// The hello's reader must become the link's reader: data frames
+		// may already sit buffered behind the hello bytes.
+		br := newBufReader(conn)
+		f, err := br.readFrameHeader()
+		if err != nil || f.kind != frHello {
+			conn.Close()
+			return fmt.Errorf("netfabric: bad hello on inbound link: %v", err)
+		}
+		if f.src < 0 || f.src >= t.n || f.src == t.rank || t.peers[f.src].conn != nil {
+			conn.Close()
+			return fmt.Errorf("netfabric: hello from unexpected rank %d", f.src)
+		}
+		if err := br.Discard(f.payloadLen); err != nil {
+			conn.Close()
+			return fmt.Errorf("netfabric: hello from rank %d: %v", f.src, err)
+		}
+		t.attach(f.src, conn, br)
+	}
+	return nil
+}
+
+// attach binds an established connection (and its buffered reader) to the
+// pre-allocated peer struct.
+func (t *tcpTransport) attach(rank int, conn net.Conn, br *frameReader) {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	p := t.peers[rank]
+	p.conn, p.br = conn, br
+}
+
+// frameHeader is a frame's prefix as parsed off the stream: the payload
+// stays unread so frData bytes can land directly in a bounce buffer.
+type frameHeader struct {
+	kind       byte
+	src        int
+	payloadLen int
+}
+
+// readFrameHeader parses the next frame's length, kind, and src off the
+// stream, leaving payloadLen bytes unread.
+func (b *frameReader) readFrameHeader() (frameHeader, error) {
+	body, err := binary.ReadUvarint(b)
+	if err != nil {
+		return frameHeader{}, err
+	}
+	if body < 2 || body > maxFramePayload+16 {
+		return frameHeader{}, fmt.Errorf("netfabric: frame body %d out of range", body)
+	}
+	kind, err := b.ReadByte()
+	if err != nil {
+		return frameHeader{}, err
+	}
+	if kind < frData || kind > frReadResp {
+		return frameHeader{}, fmt.Errorf("netfabric: unknown frame kind %d", kind)
+	}
+	src, err := binary.ReadUvarint(b)
+	if err != nil {
+		return frameHeader{}, err
+	}
+	payload := int(body) - 1 - uvarintLen(src)
+	if payload < 0 || payload > maxFramePayload {
+		return frameHeader{}, fmt.Errorf("netfabric: frame payload %d out of range", payload)
+	}
+	return frameHeader{kind: kind, src: int(src), payloadLen: payload}, nil
+}
+
+// reader drains the connection: frData payloads stream directly into the
+// rank's posted bounce buffers; read requests and responses go through
+// the region and pending-read tables.
+func (p *tcpPeer) reader() {
+	t := p.t
+	for {
+		f, err := p.br.readFrameHeader()
+		if err != nil {
+			// Connection torn down (peer closed or we closed). Nothing to
+			// repair on a reliable transport: the world is quiescing.
+			return
+		}
+		t.sink.Counters.Inc(obs.CtrNetRxFrames)
+		t.sink.Counters.Add(obs.CtrNetRxBytes, uint64(f.payloadLen))
+		switch f.kind {
+		case frData:
+			buf, wrID, ok := t.rq.Take(t.done)
+			if !ok {
+				return
+			}
+			if f.payloadLen > len(buf) {
+				// Mirror QP.deliver: consume the message, complete with
+				// ErrBufferSize, never truncate silently.
+				if err := p.br.Discard(f.payloadLen); err != nil {
+					return
+				}
+				t.cq.Push(rdma.Completion{Op: rdma.OpRecv, WRID: wrID,
+					Bytes: f.payloadLen, Data: buf[:0], Err: rdma.ErrBufferSize})
+				continue
+			}
+			if err := p.br.ReadFull(buf[:f.payloadLen]); err != nil {
+				return
+			}
+			t.cq.Push(rdma.Completion{Op: rdma.OpRecv, WRID: wrID,
+				Bytes: f.payloadLen, Data: buf[:f.payloadLen]})
+		case frReadReq:
+			scratch := t.frameBuf(f.payloadLen)[:f.payloadLen]
+			if err := p.br.ReadFull(scratch); err != nil {
+				return
+			}
+			resp, ok := t.serveReadPayload(scratch, 0)
+			t.frameRecycle(scratch)
+			if ok {
+				p.enqueueFrame(frReadResp, resp)
+				t.frameRecycle(resp)
+			}
+		case frReadResp:
+			scratch := t.frameBuf(f.payloadLen)[:f.payloadLen]
+			if err := p.br.ReadFull(scratch); err != nil {
+				return
+			}
+			t.completeRead(scratch)
+			t.frameRecycle(scratch)
+		default: // frHello mid-stream: ignore
+			if err := p.br.Discard(f.payloadLen); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// enqueueFrame stages an encoded frame for the writer without ever
+// blocking the calling reader goroutine (a reader blocked on a full
+// outbound queue could deadlock two mutually-stalled ranks).
+func (p *tcpPeer) enqueueFrame(kind byte, payload []byte) {
+	buf := appendFrame(p.t.frameBuf(frameSize(p.t.rank, len(payload))), kind, p.t.rank, payload)
+	select {
+	case p.sendq <- buf:
+	default:
+		go func() {
+			select {
+			case p.sendq <- buf:
+			case <-p.t.done:
+				p.t.frameRecycle(buf)
+			}
+		}()
+	}
+}
+
+// writer drains the send queue into the connection. Frames already queued
+// behind the first are flushed in one writev (net.Buffers), so a burst of
+// eager sends costs one syscall, not one per message.
+func (p *tcpPeer) writer() {
+	t := p.t
+	maxBatch := 64
+	owned := make([][]byte, 0, maxBatch)
+	var bufs net.Buffers
+	dead := false
+	for {
+		var first []byte
+		select {
+		case first = <-p.sendq:
+		case <-t.done:
+			// Shutdown: flush whatever the quiescing world staged before
+			// Close (its final control tokens), then exit. Frames already
+			// in the queue were sent before Close and must reach the peer.
+			for {
+				select {
+				case f := <-p.sendq:
+					if !dead {
+						if _, err := p.conn.Write(f); err != nil {
+							dead = true
+						}
+					}
+					t.frameRecycle(f)
+				default:
+					return
+				}
+			}
+		}
+		owned = append(owned[:0], first)
+	drain:
+		for len(owned) < maxBatch {
+			select {
+			case f := <-p.sendq:
+				owned = append(owned, f)
+			default:
+				break drain
+			}
+		}
+		if !dead {
+			total := 0
+			bufs = bufs[:0]
+			for _, f := range owned {
+				total += len(f)
+				bufs = append(bufs, f)
+			}
+			if _, err := (&bufs).WriteTo(p.conn); err != nil {
+				// Peer gone (normal during teardown): keep draining the
+				// queue so senders never block on a dead link.
+				dead = true
+			} else {
+				t.sink.Counters.Add(obs.CtrNetTxFrames, uint64(len(owned)))
+				t.sink.Counters.Add(obs.CtrNetTxBytes, uint64(total))
+				t.sink.Counters.Inc(obs.CtrNetFlushes)
+			}
+		}
+		for i, f := range owned {
+			t.frameRecycle(f)
+			owned[i] = nil
+		}
+	}
+}
+
+// Send stages one data frame. When the peer's queue is full the call
+// stalls (tallied as CtrNetStalls) until the writer drains — TCP
+// backpressure surfaces as latency, never loss.
+func (p *tcpPeer) Send(data []byte, imm uint32, wrID uint64) error {
+	buf := appendFrame(p.t.frameBuf(frameSize(p.t.rank, len(data))), frData, p.t.rank, data)
+	select {
+	case p.sendq <- buf:
+		return nil
+	case <-p.t.done:
+		p.t.frameRecycle(buf)
+		return rdma.ErrClosed
+	default:
+	}
+	p.t.noteStall(p.rank, len(data))
+	select {
+	case p.sendq <- buf:
+		return nil
+	case <-p.t.done:
+		p.t.frameRecycle(buf)
+		return rdma.ErrClosed
+	}
+}
+
+// SendControl stages a control frame without ever blocking: a full queue
+// drops it with ErrNoReceive, the contract control traffic already
+// tolerates on the in-process fabric.
+func (p *tcpPeer) SendControl(data []byte, imm uint32, wrID uint64) error {
+	buf := appendFrame(p.t.frameBuf(frameSize(p.t.rank, len(data))), frData, p.t.rank, data)
+	select {
+	case p.sendq <- buf:
+		return nil
+	default:
+		p.t.frameRecycle(buf)
+		return rdma.ErrNoReceive
+	}
+}
+
+// Close of one endpoint is a no-op; links die with the transport.
+func (p *tcpPeer) Close() {}
+
+// Read satisfies a rendezvous read: owner-local regions copy directly,
+// remote ones round-trip a frReadReq. The stream is reliable, so one
+// request suffices and the only failure modes are the owner's verdict or
+// transport shutdown.
+func (t *tcpTransport) Read(owner int, dst []byte, rkey uint64, offset, length int) error {
+	if length != len(dst) {
+		return rdma.ErrBounds
+	}
+	if owner == t.rank {
+		return t.localRead(dst, rkey, offset, length)
+	}
+	if owner < 0 || owner >= t.n {
+		return rdma.ErrBadKey
+	}
+	id, pr := t.newPendingRead(dst)
+	req := appendReadReq(t.frameBuf(32), id, rkey, offset, length)
+	t.sink.Counters.Inc(obs.CtrNetReadReqs)
+	t.peers[owner].enqueueFrame(frReadReq, req)
+	t.frameRecycle(req)
+	select {
+	case err := <-pr.done:
+		return err
+	case <-t.done:
+		t.dropPendingRead(id)
+		return rdma.ErrClosed
+	}
+}
+
+// Close tears the mesh down in two phases: writers drain and exit first
+// (so every frame staged before Close reaches the wire), then the
+// connections close under the readers.
+func (t *tcpTransport) Close() error {
+	if !t.markClosed() {
+		return nil
+	}
+	t.wgWriters.Wait()
+	t.ln.Close()
+	for _, p := range t.peers {
+		if p != nil && p.conn != nil {
+			p.conn.Close()
+		}
+	}
+	t.wgReaders.Wait()
+	return nil
+}

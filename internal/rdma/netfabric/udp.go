@@ -1,0 +1,322 @@
+package netfabric
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/rdma"
+)
+
+// maxUDPRead bounds how much registered-region data one frReadResp
+// datagram may carry. The rendezvous read loop requests the whole region
+// in one shot, so this caps rendezvous payloads over UDP; a larger region
+// answers readTooLarge and the caller surfaces rdma.ErrBufferSize.
+const maxUDPRead = 60000
+
+// readAttempts is how many times an unanswered frReadReq is re-sent
+// before the read fails. Requests are idempotent, so retries are safe.
+const readAttempts = 8
+
+// udpTransport carries every frame as one datagram on a single socket.
+// Datagrams drop, duplicate, and reorder — the transport reports
+// !Reliable() and the MPI reliability sublayer (sequencing, dedup,
+// reorder repair, sack/retransmit) becomes the delivery filter. A
+// deterministic rdma.FaultPlan on the send path forces those repairs at
+// any configured rate, with per-peer splitmix64 streams exactly like the
+// in-process fault injector.
+type udpTransport struct {
+	base
+	cfg   Config
+	conn  *net.UDPConn
+	peers []*udpEndpoint // nil at [rank]
+	loop  *loopEndpoint
+	wg    sync.WaitGroup
+}
+
+func newUDP(cfg Config) (rdma.Transport, error) {
+	laddr, err := net.ResolveUDPAddr("udp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("netfabric: resolve %q: %w", cfg.Listen, err)
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("netfabric: listen udp: %w", err)
+	}
+	addrs, err := registerWithCoord(cfg.Coord, cfg.Rank, cfg.Ranks, conn.LocalAddr().String())
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	t := &udpTransport{base: newBase(cfg), cfg: cfg, conn: conn}
+	t.peers = make([]*udpEndpoint, cfg.Ranks)
+	for j, a := range addrs {
+		if j == cfg.Rank {
+			continue
+		}
+		ua, err := net.ResolveUDPAddr("udp", a)
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("netfabric: peer %d addr %q: %w", j, a, err)
+		}
+		t.peers[j] = newUDPEndpoint(t, j, ua)
+	}
+	t.loop = newLoopback(&t.base, false, cfg.SendQueue)
+	return t, nil
+}
+
+func (t *udpTransport) Reliable() bool { return false }
+
+func (t *udpTransport) Endpoint(peer int) rdma.Endpoint {
+	if peer == t.rank {
+		return t.loop
+	}
+	return t.peers[peer]
+}
+
+func (t *udpTransport) Start(rq *rdma.RecvQueue, cq *rdma.CQ) error {
+	t.rq, t.cq = rq, cq
+	t.wg.Add(2)
+	go func() { defer t.wg.Done(); t.loop.run() }()
+	go func() { defer t.wg.Done(); t.reader() }()
+	return nil
+}
+
+// reader drains the socket. Each datagram is one frame; data payloads are
+// copied into a posted bounce buffer by deliverBytes, and anything
+// malformed is dropped — over UDP, garbage is indistinguishable from
+// line noise and the reliability layer repairs the loss.
+func (t *udpTransport) reader() {
+	scratch := make([]byte, 64<<10)
+	for {
+		n, _, err := t.conn.ReadFromUDP(scratch)
+		if err != nil {
+			return // socket closed
+		}
+		f, _, err := decodeFrame(scratch[:n])
+		if err != nil || f.src < 0 || f.src >= t.n {
+			continue
+		}
+		t.sink.Counters.Inc(obs.CtrNetRxFrames)
+		t.sink.Counters.Add(obs.CtrNetRxBytes, uint64(len(f.payload)))
+		switch f.kind {
+		case frData:
+			if !t.deliverBytes(f.payload) {
+				return
+			}
+		case frReadReq:
+			if resp, ok := t.serveReadPayload(f.payload, maxUDPRead); ok {
+				if ep := t.peers[f.src]; ep != nil {
+					ep.writeFrame(frReadResp, resp, false)
+				}
+				t.frameRecycle(resp)
+			}
+		case frReadResp:
+			t.completeRead(f.payload)
+		}
+	}
+}
+
+// Read round-trips a frReadReq with timeout-driven retries: requests and
+// responses are both droppable, and the request is idempotent, so the
+// loop re-sends until a verdict arrives. Each retry is tallied on
+// CtrNetReadRetries.
+func (t *udpTransport) Read(owner int, dst []byte, rkey uint64, offset, length int) error {
+	if length != len(dst) {
+		return rdma.ErrBounds
+	}
+	if owner == t.rank {
+		return t.localRead(dst, rkey, offset, length)
+	}
+	if owner < 0 || owner >= t.n {
+		return rdma.ErrBadKey
+	}
+	ep := t.peers[owner]
+	id, pr := t.newPendingRead(dst)
+	defer t.dropPendingRead(id)
+	req := appendReadReq(t.frameBuf(32), id, rkey, offset, length)
+	defer t.frameRecycle(req)
+	t.sink.Counters.Inc(obs.CtrNetReadReqs)
+
+	timeout := t.cfg.ReadTimeout
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	for attempt := 0; attempt < readAttempts; attempt++ {
+		if attempt > 0 {
+			t.sink.Counters.Inc(obs.CtrNetReadRetries)
+		}
+		// The request itself goes through the fault injector: a "dropped"
+		// read request is exactly the loss the retry loop exists to absorb.
+		ep.writeFrame(frReadReq, req, true)
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(timeout)
+		select {
+		case err := <-pr.done:
+			return err
+		case <-timer.C:
+			timeout *= 2
+		case <-t.done:
+			return rdma.ErrClosed
+		}
+	}
+	return fmt.Errorf("netfabric: read from rank %d timed out after %d attempts", owner, readAttempts)
+}
+
+func (t *udpTransport) Close() error {
+	if !t.markClosed() {
+		return nil
+	}
+	t.conn.Close()
+	t.wg.Wait()
+	return nil
+}
+
+// udpEndpoint sends to one peer. Sends never block: WriteToUDP either
+// queues in the kernel or drops, matching the fire-and-forget semantics
+// the reliability layer is built for.
+type udpEndpoint struct {
+	t    *udpTransport
+	rank int
+	addr *net.UDPAddr
+
+	// Deterministic fault stream, mirroring the in-process injector: each
+	// faultable send draws a fixed number of PRNG values under the lock,
+	// so decisions are a pure function of (seed, peer pair, send ordinal).
+	mu       sync.Mutex
+	rng      uint64
+	rates    rdma.FaultRates
+	active   bool
+	held     []byte // a delayed datagram awaiting re-injection
+	heldSpan int
+}
+
+func newUDPEndpoint(t *udpTransport, rank int, addr *net.UDPAddr) *udpEndpoint {
+	ep := &udpEndpoint{t: t, rank: rank, addr: addr}
+	plan := t.cfg.Faults
+	ep.rates = plan.FaultRates
+	if ep.rates.DelaySpan <= 0 {
+		ep.rates.DelaySpan = 1
+	}
+	ep.active = plan.Active()
+	// Stream seed mixes the ordered pair (me -> peer) so the two
+	// directions of a link fault independently, as two QPs would.
+	ep.rng = splitmix(plan.Seed ^ (uint64(t.rank*t.n+rank)+1)*0x9E3779B97F4A7C15)
+	return ep
+}
+
+// splitmix is the SplitMix64 step (same generator as the in-process
+// injector, repro/internal/rdma/fault.go).
+func splitmix(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	z := x
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (ep *udpEndpoint) next() float64 {
+	ep.rng = splitmix(ep.rng)
+	return float64(ep.rng>>11) / (1 << 53)
+}
+
+// writeFrame encodes and transmits one frame. With faultable set the
+// deterministic stream may drop, duplicate, or delay the datagram; sack
+// and read-response traffic goes out un-faulted (matching the in-process
+// injector, which exempts SendControl).
+func (ep *udpEndpoint) writeFrame(kind byte, payload []byte, faultable bool) {
+	t := ep.t
+	buf := appendFrame(t.frameBuf(frameSize(t.rank, len(payload))), kind, t.rank, payload)
+	if faultable && ep.active {
+		buf = ep.inject(buf)
+		if buf == nil {
+			return
+		}
+	}
+	ep.transmit(buf)
+	t.frameRecycle(buf)
+}
+
+// inject applies one send's fault verdict. It may consume buf (drop,
+// delay) and may return a previously delayed datagram for transmission
+// alongside; the caller transmits whatever comes back.
+func (ep *udpEndpoint) inject(buf []byte) []byte {
+	t := ep.t
+	ep.mu.Lock()
+	// Fixed draw order keeps the stream aligned regardless of verdicts.
+	drop := ep.next() < ep.rates.Drop
+	dup := ep.next() < ep.rates.Duplicate
+	delay := ep.next() < ep.rates.Delay
+
+	// A held datagram re-enters the wire once enough sends overtake it.
+	var release []byte
+	if ep.held != nil {
+		ep.heldSpan--
+		if ep.heldSpan <= 0 {
+			release = ep.held
+			ep.held = nil
+		}
+	}
+	switch {
+	case drop:
+		t.sink.Counters.Inc(obs.CtrFaultDropped)
+		t.frameRecycle(buf)
+		buf = nil
+	case dup:
+		t.sink.Counters.Inc(obs.CtrFaultDuplicated)
+		ep.mu.Unlock()
+		ep.transmit(buf) // first copy; caller sends the second
+		ep.mu.Lock()
+	case delay && ep.held == nil:
+		t.sink.Counters.Inc(obs.CtrFaultDelayed)
+		ep.held = buf
+		ep.heldSpan = ep.rates.DelaySpan
+		buf = nil
+	}
+	ep.mu.Unlock()
+	if release != nil {
+		ep.transmit(release)
+		t.frameRecycle(release)
+	}
+	return buf
+}
+
+func (ep *udpEndpoint) transmit(buf []byte) {
+	t := ep.t
+	if _, err := t.conn.WriteToUDP(buf, ep.addr); err != nil {
+		return
+	}
+	t.sink.Counters.Inc(obs.CtrNetTxFrames)
+	t.sink.Counters.Add(obs.CtrNetTxBytes, uint64(len(buf)))
+	t.sink.Counters.Inc(obs.CtrNetFlushes)
+}
+
+func (ep *udpEndpoint) Send(data []byte, imm uint32, wrID uint64) error {
+	select {
+	case <-ep.t.done:
+		return rdma.ErrClosed
+	default:
+	}
+	ep.writeFrame(frData, data, true)
+	return nil
+}
+
+// SendControl transmits un-faulted: sacks are the repair channel, and the
+// in-process fabric gives them the same exemption.
+func (ep *udpEndpoint) SendControl(data []byte, imm uint32, wrID uint64) error {
+	select {
+	case <-ep.t.done:
+		return rdma.ErrClosed
+	default:
+	}
+	ep.writeFrame(frData, data, false)
+	return nil
+}
+
+func (ep *udpEndpoint) Close() {}

@@ -88,6 +88,28 @@ func Run(t *trace.Trace, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return RunWorld(t, cfg, w)
+}
+
+// RunWorld replays t over a caller-built world and closes it. Only the
+// ranks the world hosts are driven: an in-process world replays the whole
+// trace, a NewNetWorld member replays its one rank while peer processes
+// replay theirs — the trace must be identical in every process (the
+// synthetic generators are deterministic, so same app + scale suffices).
+// Counts and statistics cover the local ranks only; the Elapsed window is
+// aligned across processes by the trace's own collectives and the final
+// barrier every rank runs.
+func RunWorld(t *trace.Trace, cfg Config, w *mpi.World) (*Result, error) {
+	cfg.fill()
+	n := t.NumRanks()
+	if n == 0 {
+		w.Close()
+		return nil, fmt.Errorf("replay: empty trace")
+	}
+	if w.Size() != n {
+		w.Close()
+		return nil, fmt.Errorf("replay: world of %d ranks cannot host a %d-rank trace", w.Size(), n)
+	}
 	defer w.Close()
 
 	res := &Result{Ranks: n}
@@ -96,12 +118,21 @@ func Run(t *trace.Trace, cfg Config) (*Result, error) {
 	var wg sync.WaitGroup
 	errs := make([]error, n)
 	counts := make([]Result, n)
+	local := 0
 	for ri := range t.Ranks {
+		rank := int(t.Ranks[ri].Rank)
+		if !w.Hosts(rank) {
+			continue
+		}
+		local++
 		wg.Add(1)
-		go func(ri int) {
+		go func(ri, rank int) {
 			defer wg.Done()
-			counts[ri], errs[ri] = replayRank(w.Proc(int(t.Ranks[ri].Rank)), t.Ranks[ri].Events, cfg)
-		}(ri)
+			counts[ri], errs[ri] = replayRank(w.Proc(rank), t.Ranks[ri].Events, cfg)
+		}(ri, rank)
+	}
+	if local == 0 {
+		return nil, fmt.Errorf("replay: world hosts none of the trace's ranks")
 	}
 	wg.Wait()
 	for r, err := range errs {
@@ -122,8 +153,8 @@ func Run(t *trace.Trace, cfg Config) (*Result, error) {
 	res.Faults = w.FaultStats()
 	res.Reliability = w.ReliabilityStats()
 	res.Sinks = w.ObsSinks()
-	for r := 0; r < n; r++ {
-		if m := w.Proc(r).Matcher(); m != nil {
+	for _, p := range w.LocalProcs() {
+		if m := p.Matcher(); m != nil {
 			st := m.Stats()
 			res.Matcher.Messages += st.Messages
 			res.Matcher.Blocks += st.Blocks
