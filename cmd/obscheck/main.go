@@ -6,13 +6,15 @@
 // CI can smoke-test trace production without a browser.
 //
 // With -bench it instead validates a msgrate -bench-json results document
-// against the repro/msgrate-bench/v1 schema.
+// against the repro/msgrate-bench/v1 schema; with -plan, a whatif
+// recommendation document against the repro/plan/v1 schema.
 //
 // Usage:
 //
 //	obscheck trace.json
 //	obscheck -min-events 10 trace.json
 //	obscheck -bench BENCH_msgrate.json
+//	obscheck -plan plan.json
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 	"os"
 
 	"repro/internal/bench"
+	"repro/internal/plan"
 )
 
 // event mirrors the subset of the trace_event record schema obscheck
@@ -50,12 +53,27 @@ var knownPhases = map[string]bool{
 func main() {
 	minEvents := flag.Int("min-events", 1, "fail unless the trace holds at least this many non-metadata events")
 	benchMode := flag.Bool("bench", false, "validate a msgrate -bench-json document instead of a Chrome trace")
+	planMode := flag.Bool("plan", false, "validate a whatif recommendation document instead of a Chrome trace")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: obscheck [-min-events N] trace.json | obscheck -bench bench.json")
+		fmt.Fprintln(os.Stderr, "usage: obscheck [-min-events N] trace.json | obscheck -bench bench.json | obscheck -plan plan.json")
 		os.Exit(2)
 	}
 	path := flag.Arg(0)
+
+	if *planMode {
+		doc, err := plan.ReadDoc(path)
+		if err != nil {
+			fatal(err)
+		}
+		budget := "unlimited"
+		if doc.BudgetBytes > 0 {
+			budget = fmt.Sprintf("%d bytes", doc.BudgetBytes)
+		}
+		fmt.Printf("%s: ok — %s, %s on %d ranks, %d recommendations (%d evaluated, %d rejected, budget %s)\n",
+			path, doc.Schema, doc.App, doc.Procs, len(doc.Entries), doc.Evaluated, doc.Rejected, budget)
+		return
+	}
 
 	if *benchMode {
 		doc, err := bench.ReadBenchJSON(path)

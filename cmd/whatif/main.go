@@ -1,0 +1,273 @@
+// Command whatif is the capacity planner CLI: it prices candidate matcher
+// configurations for a workload against the calibrated cost model and a
+// memory budget, without running the full engine per candidate.
+//
+// Two subcommands:
+//
+//	whatif <global flags> whatif -bins 512 -block 16 -inflight 4
+//	    price ONE explicit configuration against the current default and
+//	    print a stage-by-stage delta (wire / parallel / slow / block).
+//
+//	whatif <global flags> recommend -top 3 -json plan.json
+//	    search the configuration space (coarse grid + local refinement
+//	    around the leaders) and print ranked recommendations; -json writes
+//	    the machine-readable repro/plan/v1 document (validated by
+//	    obscheck -plan).
+//
+// The workload is a built-in synthetic generator (-app, -scale) or a
+// DUMPI trace directory (-dir with -app). -budget caps the modeled
+// per-rank memory footprint ("512KiB", "2MiB", or plain bytes);
+// candidates above it are rejected.
+//
+// Examples:
+//
+//	whatif -app LULESH -scale 50 recommend -top 3 -json plan.json
+//	whatif -app AMG -budget 1MiB whatif -bins 512 -inflight 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/obs"
+	"repro/internal/plan"
+	"repro/internal/trace"
+	"repro/internal/tracegen"
+)
+
+func main() {
+	global := flag.NewFlagSet("whatif", flag.ExitOnError)
+	var (
+		app       = global.String("app", "LULESH", "application name (synthetic generator, or trace name with -dir)")
+		dir       = global.String("dir", "", "DUMPI trace directory (default: synthetic generators)")
+		scale     = global.Int("scale", 30, "synthetic generation scale percentage")
+		budget    = global.String("budget", "", "per-rank memory budget (e.g. 512KiB, 2MiB, or bytes; empty = unlimited)")
+		maxRecv   = global.Int("max-receives", 0, "planned posted-receive capacity (default: the paper configuration's)")
+		parallel  = global.Int("parallel", 0, "analyzer replay worker pool width (0 = GOMAXPROCS)")
+		statsJSON = global.String("stats-json", "", "write planner observability counters as JSON to this file")
+	)
+	global.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: whatif [global flags] <whatif|recommend> [flags]")
+		global.PrintDefaults()
+	}
+	if err := global.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+	if global.NArg() < 1 {
+		global.Usage()
+		os.Exit(2)
+	}
+
+	budgetBytes, err := parseBytes(*budget)
+	if err != nil {
+		fatal(err)
+	}
+
+	var tr *trace.Trace
+	if *dir != "" {
+		tr, err = trace.Load(*dir, *app)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		gen, ok := tracegen.ByName(*app)
+		if !ok {
+			fatal(fmt.Errorf("unknown application %q (see traceanalyzer -report callmix for names)", *app))
+		}
+		tr = gen.Generate(tracegen.Config{Scale: *scale})
+	}
+
+	sink := obs.New(obs.Options{})
+	p := plan.New(tr, plan.Config{
+		MaxReceives: *maxRecv,
+		BudgetBytes: budgetBytes,
+		Workers:     *parallel,
+		Obs:         sink,
+	})
+
+	sub, args := global.Arg(0), global.Args()[1:]
+	switch sub {
+	case "whatif":
+		err = runWhatIf(p, budgetBytes, args)
+	case "recommend":
+		err = runRecommend(p, budgetBytes, args)
+	default:
+		err = fmt.Errorf("unknown subcommand %q (want whatif or recommend)", sub)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *statsJSON != "" {
+		named := []obs.Named{{Name: "plan", Sink: sink}}
+		if err := obs.WriteJSONFile(*statsJSON, named); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote observability snapshot to %s\n", *statsJSON)
+	}
+}
+
+// runWhatIf prices one explicit candidate against the default and prints
+// the stage-by-stage delta.
+func runWhatIf(p *plan.Planner, budgetBytes int64, args []string) error {
+	fs := flag.NewFlagSet("whatif whatif", flag.ExitOnError)
+	def := plan.DefaultCandidate()
+	var (
+		bins     = fs.Int("bins", def.Bins, "bins per hash table (power of two)")
+		block    = fs.Int("block", def.BlockSize, "arrival-block size")
+		inflight = fs.Int("inflight", def.InFlight, "in-flight block window K")
+		threads  = fs.Int("threads", def.Threads, "DPA thread count")
+		cobytes  = fs.Int("coalesce-bytes", def.CoalesceBytes, "eager-coalescing byte threshold (0 = off)")
+		comsgs   = fs.Int("coalesce-msgs", def.CoalesceMsgs, "eager-coalescing message threshold (0 = off)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cand := plan.Candidate{
+		Bins: *bins, BlockSize: *block, InFlight: *inflight, Threads: *threads,
+		CoalesceBytes: *cobytes, CoalesceMsgs: *comsgs,
+	}
+
+	base, err := p.Estimate(def)
+	if err != nil {
+		return err
+	}
+	est, err := p.Estimate(cand)
+	if err != nil {
+		return err
+	}
+
+	f := p.Features()
+	fmt.Printf("what-if: %s (%d ranks, %d sends, mean burst %.1f)\n\n", f.App, f.Procs, f.Sends, f.MeanBurst)
+	fmt.Printf("%-24s %14s %14s\n", "", "current", "candidate")
+	dimRow := func(name string, a, b int) { fmt.Printf("  %-22s %14d %14d\n", name, a, b) }
+	dimRow("bins", def.Bins, cand.Bins)
+	dimRow("block size", def.BlockSize, cand.BlockSize)
+	dimRow("in-flight K", def.InFlight, cand.InFlight)
+	dimRow("threads", def.Threads, cand.Threads)
+	dimRow("coalesce bytes", def.CoalesceBytes, cand.CoalesceBytes)
+	dimRow("coalesce msgs", def.CoalesceMsgs, cand.CoalesceMsgs)
+
+	fmt.Printf("\nstage occupancy (ns/msg):\n")
+	stageRow := func(name string, a, b float64) {
+		fmt.Printf("  %-22s %14.1f %14.1f   %+8.1f\n", name, a, b, b-a)
+	}
+	stageRow("wire", base.Stages.WireNS, est.Stages.WireNS)
+	stageRow("dpa parallel", base.Stages.ParallelNS, est.Stages.ParallelNS)
+	stageRow("slow-path serial", base.Stages.SlowSerialNS, est.Stages.SlowSerialNS)
+	stageRow("block serial", base.Stages.BlockSerialNS, est.Stages.BlockSerialNS)
+	stageRow("match total", base.Stages.MatchNS(), est.Stages.MatchNS())
+
+	fmt.Printf("\npredicted:\n")
+	fmt.Printf("  %-22s %14.0f %14.0f   (%.2fx)\n", "offload msg/s",
+		base.Offload.MsgPerSec, est.Offload.MsgPerSec, est.Speedup(base))
+	fmt.Printf("  %-22s %14.0f %14.0f\n", "host msg/s", base.Host.MsgPerSec, est.Host.MsgPerSec)
+	fmt.Printf("  %-22s %14.3f %14.3f\n", "queue depth mean", base.QueueMean, est.QueueMean)
+	fmt.Printf("  %-22s %14d %14d\n", "queue depth max", base.QueueMax, est.QueueMax)
+	fmt.Printf("  %-22s %14.4f %14.4f\n", "bin conflict prob", base.BinConflictProb, est.BinConflictProb)
+	fmt.Printf("  %-22s %14s %14s\n", "footprint",
+		formatBytes(base.FootprintBytes), formatBytes(est.FootprintBytes))
+	if budgetBytes > 0 {
+		fmt.Printf("  %-22s %14s\n", "budget", formatBytes(int(budgetBytes)))
+	}
+	if est.Reject != "" {
+		fmt.Printf("\ncandidate REJECTED: %s\n", est.Reject)
+		os.Exit(1)
+	}
+	return nil
+}
+
+// runRecommend searches the space and prints the ranked table.
+func runRecommend(p *plan.Planner, budgetBytes int64, args []string) error {
+	fs := flag.NewFlagSet("whatif recommend", flag.ExitOnError)
+	var (
+		topN     = fs.Int("top", 3, "recommendations to print")
+		jsonPath = fs.String("json", "", "write the repro/plan/v1 document to this file")
+		refine   = fs.Int("refine", 2, "local refinement rounds around the leaders")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	res, err := p.Recommend(plan.RecommendConfig{TopN: *topN, RefineRounds: *refine})
+	if err != nil {
+		return err
+	}
+
+	f := res.Features
+	fmt.Printf("recommend: %s (%d ranks, %d sends, mean burst %.1f", f.App, f.Procs, f.Sends, f.MeanBurst)
+	if budgetBytes > 0 {
+		fmt.Printf(", budget %s", formatBytes(int(budgetBytes)))
+	}
+	fmt.Printf(")\n")
+	fmt.Printf("%d candidates evaluated, %d rejected\n\n", res.Evaluated, res.Rejected)
+
+	fmt.Printf("%-4s %-44s %12s %8s %9s %10s %9s\n",
+		"rank", "configuration", "msg/s", "speedup", "queue", "conflict", "footprint")
+	row := func(rank string, e plan.Estimate) {
+		fmt.Printf("%-4s %-44s %12.0f %7.2fx %9.3f %10.4f %9s\n",
+			rank, e.Candidate.String(), e.Offload.MsgPerSec, e.Speedup(res.Baseline),
+			e.QueueMean, e.BinConflictProb, formatBytes(e.FootprintBytes))
+	}
+	for i, e := range res.Entries {
+		row(fmt.Sprintf("#%d", i+1), e)
+	}
+	row("base", res.Baseline)
+
+	if *jsonPath != "" {
+		doc := plan.DocFromResult(res, budgetBytes)
+		if err := plan.WriteDoc(*jsonPath, doc); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s (%s)\n", *jsonPath, plan.Schema)
+	}
+	return nil
+}
+
+// parseBytes accepts plain byte counts and binary-suffixed sizes
+// (K/KiB/KB = 1024, M/MiB/MB = 1024², G/GiB/GB = 1024³).
+func parseBytes(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil
+	}
+	mult := int64(1)
+	upper := strings.ToUpper(s)
+	for _, suf := range []struct {
+		name string
+		mul  int64
+	}{
+		{"GIB", 1 << 30}, {"GB", 1 << 30}, {"G", 1 << 30},
+		{"MIB", 1 << 20}, {"MB", 1 << 20}, {"M", 1 << 20},
+		{"KIB", 1 << 10}, {"KB", 1 << 10}, {"K", 1 << 10},
+	} {
+		if strings.HasSuffix(upper, suf.name) {
+			mult = suf.mul
+			s = s[:len(s)-len(suf.name)]
+			break
+		}
+	}
+	v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad size %q (want e.g. 512KiB, 2MiB, or bytes)", s)
+	}
+	return v * mult, nil
+}
+
+func formatBytes(n int) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "whatif: %v\n", err)
+	os.Exit(1)
+}

@@ -181,8 +181,8 @@ func Analyze(t *trace.Trace, cfg Config) (*Report, error) {
 // the equivalence tests; production callers want Analyze.
 func AnalyzeSerial(t *trace.Trace, cfg Config) (*Report, error) {
 	cfg.fill()
-	if cfg.Bins < 1 {
-		return nil, fmt.Errorf("analyzer: Bins must be >= 1, got %d", cfg.Bins)
+	if err := validateBins(cfg.Bins); err != nil {
+		return nil, err
 	}
 
 	rep := &Report{App: t.App, Procs: t.NumRanks(), Bins: cfg.Bins, Mix: t.Mix()}

@@ -27,6 +27,17 @@ type instance interface {
 	unexpectedNow() int
 }
 
+// validEngine reports whether e names a known matching strategy, so sweep
+// paths can reject a bad selection up front instead of failing once per
+// shard mid-replay.
+func validEngine(e Engine) error {
+	switch e {
+	case "", EngineOptimistic, EngineList, EngineBin, EngineRank, EngineAdaptive:
+		return nil
+	}
+	return fmt.Errorf("analyzer: unknown engine %q", e)
+}
+
 // newInstance builds the engine selected by cfg.
 func newInstance(cfg Config) (instance, error) {
 	switch cfg.Engine {

@@ -220,8 +220,8 @@ func (sc *Schedule) merge(results []shardResult, cfg Config) (*Report, error) {
 // bounded worker pool (Config.Workers wide, default GOMAXPROCS).
 func (sc *Schedule) Analyze(cfg Config) (*Report, error) {
 	cfg.fill()
-	if cfg.Bins < 1 {
-		return nil, fmt.Errorf("analyzer: Bins must be >= 1, got %d", cfg.Bins)
+	if err := validateBins(cfg.Bins); err != nil {
+		return nil, err
 	}
 	results := make([]shardResult, len(sc.shards))
 	replayStart := cfg.Obs.Now()
@@ -246,32 +246,97 @@ const (
 	phaseMerge
 )
 
+// validateBins rejects the bin counts every replay path refuses: zero or
+// negative counts, and counts that are not powers of two (the paper sweeps
+// 1…256 in powers of two and the msgrate CLI enforces the same contract).
+// Validating up front turns what used to be divergent per-bin failures
+// mid-sweep into one clear error before any shard runs.
+func validateBins(b int) error {
+	if b < 1 {
+		return fmt.Errorf("analyzer: Bins must be >= 1, got %d", b)
+	}
+	if b&(b-1) != 0 {
+		return fmt.Errorf("analyzer: Bins must be a power of two, got %d", b)
+	}
+	return nil
+}
+
+// NormalizeBins validates a sweep's bin counts once up front and dedupes
+// repeats (first occurrence wins, order preserved). An empty sweep is an
+// error.
+func NormalizeBins(bins []int) ([]int, error) {
+	if len(bins) == 0 {
+		return nil, fmt.Errorf("analyzer: empty bin sweep")
+	}
+	seen := make(map[int]bool, len(bins))
+	out := make([]int, 0, len(bins))
+	for _, b := range bins {
+		if err := validateBins(b); err != nil {
+			return nil, err
+		}
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		out = append(out, b)
+	}
+	return out, nil
+}
+
 // Sweep replays the schedule once per bin count, fanning every
 // (bin count × shard) replay out over one shared worker pool. The step
-// streams are built and sorted exactly once for the whole sweep.
+// streams are built and sorted exactly once for the whole sweep. Bin
+// counts are validated and deduplicated up front (NormalizeBins): the
+// returned reports align with the deduplicated list.
 func (sc *Schedule) Sweep(bins []int, cfg Config) ([]*Report, error) {
-	cfg.fill()
-	for _, b := range bins {
-		if b < 1 {
-			return nil, fmt.Errorf("analyzer: Bins must be >= 1, got %d", b)
+	bins, err := NormalizeBins(bins)
+	if err != nil {
+		return nil, err
+	}
+	cfgs := make([]Config, len(bins))
+	for i, b := range bins {
+		cfgs[i] = cfg
+		cfgs[i].Bins = b
+	}
+	return sc.SweepConfigs(cfgs, cfg)
+}
+
+// SweepConfigs generalizes Sweep to arbitrary per-replay configurations:
+// the schedule is replayed once per entry of cfgs, and every
+// (config × shard) replay fans out over the one worker pool sized by
+// pool.Workers. Any replay-free field may vary between entries (Bins,
+// Engine, MaxReceives, RecordSeries); the schedule-frozen fields (Latency,
+// LatencySpread) were fixed at BuildSchedule time and entries' values are
+// ignored. Reports align with cfgs. Every configuration is validated up
+// front so a bad entry fails before any shard runs.
+func (sc *Schedule) SweepConfigs(cfgs []Config, pool Config) ([]*Report, error) {
+	if len(cfgs) == 0 {
+		return nil, fmt.Errorf("analyzer: empty configuration sweep")
+	}
+	pool.fill()
+	for i := range cfgs {
+		cfgs[i].fill()
+		cfgs[i].Workers = pool.Workers
+		cfgs[i].Obs = pool.Obs
+		if err := validateBins(cfgs[i].Bins); err != nil {
+			return nil, fmt.Errorf("configs[%d]: %w", i, err)
+		}
+		if err := validEngine(cfgs[i].Engine); err != nil {
+			return nil, fmt.Errorf("configs[%d]: %w", i, err)
 		}
 	}
-	nb, ns := len(bins), len(sc.shards)
-	results := make([][]shardResult, nb)
-	for bi := range results {
-		results[bi] = make([]shardResult, ns)
+	nc, ns := len(cfgs), len(sc.shards)
+	results := make([][]shardResult, nc)
+	for ci := range results {
+		results[ci] = make([]shardResult, ns)
 	}
-	runPool(nb*ns, cfg.workerCount(nb*ns), func(i int) {
-		bi, si := i/max(ns, 1), i%max(ns, 1)
-		c := cfg
-		c.Bins = bins[bi]
-		results[bi][si] = runShard(&sc.shards[si], c)
+	runPool(nc*ns, pool.workerCount(nc*ns), func(i int) {
+		ci, si := i/max(ns, 1), i%max(ns, 1)
+		results[ci][si] = runShard(&sc.shards[si], cfgs[ci])
 	})
-	out := make([]*Report, 0, nb)
-	for bi := range results {
-		c := cfg
-		c.Bins = bins[bi]
-		rep, err := sc.merge(results[bi], c)
+	out := make([]*Report, 0, nc)
+	for ci := range results {
+		rep, err := sc.merge(results[ci], cfgs[ci])
 		if err != nil {
 			return nil, err
 		}

@@ -153,6 +153,84 @@ func TestParallelValidationAndErrors(t *testing.T) {
 	}
 }
 
+func TestSweepValidatesUpFront(t *testing.T) {
+	app, _ := tracegen.ByName("AMG")
+	tr := app.Generate(tracegen.Config{Scale: 5})
+
+	// Non-power-of-two bin counts fail before any shard runs, with one
+	// clear error naming the offending count.
+	_, err := Sweep(tr, []int{4, 3}, Config{})
+	if err == nil || !strings.Contains(err.Error(), "power of two") {
+		t.Fatalf("non-power-of-two sweep: %v", err)
+	}
+	if _, err := Analyze(tr, Config{Bins: 3}); err == nil {
+		t.Fatal("single-report path accepted non-power-of-two bins")
+	}
+	if _, err := AnalyzeSerial(tr, Config{Bins: 6}); err == nil {
+		t.Fatal("serial path accepted non-power-of-two bins")
+	}
+
+	// Duplicates dedupe (first occurrence wins) instead of replaying twice.
+	reps, err := Sweep(tr, []int{1, 32, 1, 32, 32}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 2 || reps[0].Bins != 1 || reps[1].Bins != 32 {
+		t.Fatalf("dedupe failed: %d reports", len(reps))
+	}
+
+	if _, err := Sweep(tr, nil, Config{}); err == nil {
+		t.Fatal("empty sweep accepted")
+	}
+
+	if got, err := NormalizeBins([]int{8, 2, 8, 1}); err != nil || !reflect.DeepEqual(got, []int{8, 2, 1}) {
+		t.Fatalf("NormalizeBins = %v, %v", got, err)
+	}
+}
+
+func TestSweepConfigs(t *testing.T) {
+	app, _ := tracegen.ByName("BoxLib CNS")
+	tr := app.Generate(tracegen.Config{Scale: 10})
+	pool := Config{Workers: 8}
+	sched := BuildSchedule(tr, pool)
+
+	// A multi-dimension sweep: engine and bins vary per entry; every report
+	// must equal a fresh serial analysis at that entry's configuration.
+	cfgs := []Config{
+		{Engine: EngineOptimistic, Bins: 1},
+		{Engine: EngineOptimistic, Bins: 64, RecordSeries: true},
+		{Engine: EngineList, Bins: 1},
+		{Engine: EngineBin, Bins: 32},
+	}
+	reps, err := sched.SweepConfigs(cfgs, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != len(cfgs) {
+		t.Fatalf("got %d reports for %d configs", len(reps), len(cfgs))
+	}
+	for i, c := range cfgs {
+		serial, err := AnalyzeSerial(tr, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustEqualReports(t, "sweepconfigs", serial, reps[i])
+	}
+
+	// Bad entries fail up front with the entry's index.
+	_, err = sched.SweepConfigs([]Config{{Bins: 32}, {Bins: 5}}, pool)
+	if err == nil || !strings.Contains(err.Error(), "configs[1]") {
+		t.Fatalf("bad bins entry: %v", err)
+	}
+	_, err = sched.SweepConfigs([]Config{{Engine: "nope", Bins: 4}}, pool)
+	if err == nil || !strings.Contains(err.Error(), "unknown engine") {
+		t.Fatalf("bad engine entry: %v", err)
+	}
+	if _, err := sched.SweepConfigs(nil, pool); err == nil {
+		t.Fatal("empty config sweep accepted")
+	}
+}
+
 func TestParallelEmptyTrace(t *testing.T) {
 	tr := &trace.Trace{App: "empty"}
 	rep, err := Analyze(tr, Config{Bins: 4, Workers: 4})

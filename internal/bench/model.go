@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/core"
 	"repro/internal/match"
@@ -108,6 +109,13 @@ func (m ModeledRate) String() string {
 	return fmt.Sprintf("%-22s %12.0f msg/s  (%.0f ns/msg bottleneck)", m.Label, m.MsgPerSec, m.NSPerMsg)
 }
 
+// Valid reports whether the model produced a usable rate. A degenerate
+// model (all stage costs zero — reachable from a zeroed JSON configuration
+// or an all-fast-path trace) or an empty measurement yields a zero
+// ModeledRate, never Inf/NaN: callers that rank or serialize rates must
+// check Valid first.
+func (m ModeledRate) Valid() bool { return m.MsgPerSec > 0 }
+
 // wireStage is the fabric occupancy per message. Coalescing replaces N
 // lone messages (N × WireNS) with one frame (WireFrameNS + N ×
 // PerMsgHeaderNS), so per message the stage shrinks toward PerMsgHeaderNS
@@ -132,19 +140,53 @@ func (cm CostModel) hostRecvStage() float64 {
 func rate(label string, stageNS ...float64) ModeledRate {
 	worst := 0.0
 	for _, s := range stageNS {
+		if math.IsNaN(s) || math.IsInf(s, 0) {
+			return ModeledRate{Label: label}
+		}
 		if s > worst {
 			worst = s
 		}
 	}
+	// A zero bottleneck means every stage cost vanished (a zeroed model):
+	// 1e9/0 would be +Inf, which poisons rankings and which encoding/json
+	// refuses to marshal. Return the zero (invalid) rate instead.
+	if worst <= 0 {
+		return ModeledRate{Label: label}
+	}
 	return ModeledRate{Label: label, NSPerMsg: worst, MsgPerSec: 1e9 / worst}
 }
 
-// ModelOffload computes the modeled rate of an offloaded run from its
-// engine statistics and search-depth profile.
-func (cm CostModel) ModelOffload(label string, st core.EngineStats, depth match.Stats) ModeledRate {
+// WireStageNS exposes the fabric stage occupancy per message at the
+// model's BatchWidth — the wire row of a stage-by-stage breakdown.
+func (cm CostModel) WireStageNS() float64 { return cm.wireStage() }
+
+// OffloadStages decomposes the offload pipeline's matching stage per
+// message: the thread-divided handler work, the slow-path rounds that
+// serialize against the predecessor thread, and the per-block
+// serialization pipelined K-wide by the in-flight window. The stage-by-
+// stage view backs whatif's delta output; ModelOffload reduces it to the
+// bottleneck rate, so the two can never drift apart.
+type OffloadStages struct {
+	WireNS        float64 // fabric stage (at the model's BatchWidth)
+	ParallelNS    float64 // handler + barrier + probes + fast path, / Threads
+	SlowSerialNS  float64 // slow-path rounds (do not divide by Threads)
+	BlockSerialNS float64 // per-block serialization / InFlight
+}
+
+// MatchNS is the matching stage's total per-message occupancy.
+func (s OffloadStages) MatchNS() float64 {
+	return s.ParallelNS + s.SlowSerialNS + s.BlockSerialNS
+}
+
+// OffloadStages computes the per-stage decomposition of an offloaded run.
+// ok is false when the measurement is empty (no messages to divide by).
+func (cm CostModel) OffloadStages(st core.EngineStats, depth match.Stats) (OffloadStages, bool) {
 	msgs := float64(st.Messages)
 	if msgs == 0 {
-		return ModeledRate{Label: label}
+		msgs = float64(depth.Delivered())
+	}
+	if msgs == 0 {
+		return OffloadStages{}, false
 	}
 	threads := float64(cm.Threads)
 	if threads < 1 {
@@ -158,23 +200,51 @@ func (cm CostModel) ModelOffload(label string, st core.EngineStats, depth match.
 	if inflight < 1 {
 		inflight = 1
 	}
+	return OffloadStages{
+		WireNS: cm.wireStage(),
+		ParallelNS: (cm.DPAHandlerNS + cm.DPABarrierNS +
+			probesPerMsg*cm.DPAProbeNS + fastPerMsg*cm.DPAFastNS) / threads,
+		SlowSerialNS:  slowPerMsg * cm.DPASlowNS,
+		BlockSerialNS: blocksPerMsg * cm.DPABlockNS / inflight,
+	}, true
+}
 
-	parallelPerMsg := (cm.DPAHandlerNS + cm.DPABarrierNS +
-		probesPerMsg*cm.DPAProbeNS + fastPerMsg*cm.DPAFastNS) / threads
-	matchStage := parallelPerMsg + slowPerMsg*cm.DPASlowNS +
-		blocksPerMsg*cm.DPABlockNS/inflight
-	return rate(label, cm.wireStage(), matchStage)
+// ModelOffload computes the modeled rate of an offloaded run from its
+// engine statistics and search-depth profile. The per-message denominator
+// is the engine's delivered message count (EngineStats.Messages), falling
+// back to the search-depth profile's Delivered when the engine count is
+// absent (e.g. analyzer-derived statistics) — both models must price
+// against the same message count or host-vs-offload comparisons skew.
+func (cm CostModel) ModelOffload(label string, st core.EngineStats, depth match.Stats) ModeledRate {
+	stages, ok := cm.OffloadStages(st, depth)
+	if !ok {
+		return ModeledRate{Label: label}
+	}
+	return rate(label, stages.WireNS, stages.MatchNS())
+}
+
+// HostStageNS is the host's serial matching-stage occupancy per message.
+// ok is false when the profile is empty.
+func (cm CostModel) HostStageNS(depth match.Stats) (float64, bool) {
+	msgs := float64(depth.Delivered())
+	if msgs == 0 {
+		return 0, false
+	}
+	probesPerMsg := float64(depth.ArriveTraversed) / msgs
+	return cm.hostRecvStage() + cm.HostMatchNS + probesPerMsg*cm.HostProbeNS, true
 }
 
 // ModelHost computes the modeled rate of host list matching: the matching
-// stage runs serially on one core.
+// stage runs serially on one core. The per-message denominator is the
+// delivered message count (match.Stats.Delivered), the same quantity
+// EngineStats.Messages counts for ModelOffload — with coalesced batch
+// arrivals ArriveSearches counts frames-worth of searches and would skew
+// host-vs-offload comparisons.
 func (cm CostModel) ModelHost(label string, depth match.Stats) ModeledRate {
-	msgs := float64(depth.ArriveSearches)
-	if msgs == 0 {
+	stage, ok := cm.HostStageNS(depth)
+	if !ok {
 		return ModeledRate{Label: label}
 	}
-	probesPerMsg := float64(depth.ArriveTraversed) / msgs
-	stage := cm.hostRecvStage() + cm.HostMatchNS + probesPerMsg*cm.HostProbeNS
 	return rate(label, cm.wireStage(), stage)
 }
 

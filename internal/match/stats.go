@@ -86,6 +86,24 @@ func (s Stats) MaxDepth() uint64 {
 	return s.PostMaxDepth
 }
 
+// Delivered returns the number of messages the arrival path delivered into
+// matching. Every arriving message either pairs immediately (arrive-side
+// Matched) or is stored unexpected; Matched additionally counts post-side
+// pairings against the unexpected store, which are PostSearches - Queued
+// (posts that did not queue). Delivered is therefore independent of how
+// arrivals were batched on the wire — coalesced frames may share searches,
+// so ArriveSearches is NOT a message count — and it is the quantity the
+// cost model prices per message (the host-side analogue of the offload
+// engine's EngineStats.Messages).
+func (s Stats) Delivered() uint64 {
+	postMatches := s.PostSearches - s.Queued
+	d := s.Matched + s.Unexpected
+	if postMatches > d {
+		return 0
+	}
+	return d - postMatches
+}
+
 // Add returns the element-wise accumulation of s and t (max fields take the
 // maximum). It is used to merge per-rank statistics.
 func (s Stats) Add(t Stats) Stats {

@@ -1,0 +1,187 @@
+package plan
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+)
+
+// Schema identifies the machine-readable recommendation format. Consumers
+// (cmd/obscheck -plan, CI artifact checks) must reject documents with any
+// other schema string.
+const Schema = "repro/plan/v1"
+
+// Doc is the whatif/recommend output document: the workload identity, the
+// budget the search ran under, the baseline estimate, and the ranked
+// recommendations.
+type Doc struct {
+	Schema      string  `json:"schema"`
+	App         string  `json:"app"`
+	Procs       int     `json:"procs"`
+	BudgetBytes int64   `json:"budget_bytes,omitempty"`
+	MeanBurst   float64 `json:"mean_burst"`
+	Evaluated   int     `json:"candidates_evaluated"`
+	Rejected    int     `json:"rejected"`
+	Baseline    Entry   `json:"baseline"`
+	Entries     []Entry `json:"recommendations"`
+}
+
+// Entry is one configuration's predicted behaviour.
+type Entry struct {
+	Bins          int `json:"bins"`
+	BlockSize     int `json:"block_size"`
+	InFlight      int `json:"inflight"`
+	Threads       int `json:"threads"`
+	CoalesceBytes int `json:"coalesce_bytes,omitempty"`
+	CoalesceMsgs  int `json:"coalesce_msgs,omitempty"`
+
+	MsgPerSec       float64 `json:"msg_per_sec"`
+	NSPerMsg        float64 `json:"ns_per_msg"`
+	QueueMean       float64 `json:"queue_mean"`
+	QueueMax        uint64  `json:"queue_max"`
+	BinConflictProb float64 `json:"bin_conflict_prob"`
+	BatchWidth      float64 `json:"batch_width,omitempty"`
+	FootprintBytes  int     `json:"footprint_bytes"`
+	// Speedup is this entry's modeled rate over the baseline's (1.0 =
+	// equal; 0 when either rate is invalid).
+	Speedup float64 `json:"speedup_vs_baseline,omitempty"`
+}
+
+// EntryFromEstimate converts a planner estimate (with baseline for the
+// speedup column) into its document form.
+func EntryFromEstimate(e, baseline Estimate) Entry {
+	return Entry{
+		Bins:            e.Candidate.Bins,
+		BlockSize:       e.Candidate.BlockSize,
+		InFlight:        e.Candidate.InFlight,
+		Threads:         e.Candidate.Threads,
+		CoalesceBytes:   e.Candidate.CoalesceBytes,
+		CoalesceMsgs:    e.Candidate.CoalesceMsgs,
+		MsgPerSec:       e.Offload.MsgPerSec,
+		NSPerMsg:        e.Offload.NSPerMsg,
+		QueueMean:       e.QueueMean,
+		QueueMax:        e.QueueMax,
+		BinConflictProb: e.BinConflictProb,
+		BatchWidth:      e.BatchWidth,
+		FootprintBytes:  e.FootprintBytes,
+		Speedup:         e.Speedup(baseline),
+	}
+}
+
+// DocFromResult assembles the full document for one recommendation run.
+func DocFromResult(res *Result, budgetBytes int64) *Doc {
+	d := &Doc{
+		Schema:      Schema,
+		App:         res.Features.App,
+		Procs:       res.Features.Procs,
+		BudgetBytes: budgetBytes,
+		MeanBurst:   res.Features.MeanBurst,
+		Evaluated:   res.Evaluated,
+		Rejected:    res.Rejected,
+		Baseline:    EntryFromEstimate(res.Baseline, res.Baseline),
+	}
+	for _, e := range res.Entries {
+		d.Entries = append(d.Entries, EntryFromEstimate(e, res.Baseline))
+	}
+	return d
+}
+
+// finite rejects the values encoding/json cannot represent and rankings
+// cannot order.
+func finite(vals ...float64) error {
+	for _, v := range vals {
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			return fmt.Errorf("non-finite value %v", v)
+		}
+	}
+	return nil
+}
+
+func (e *Entry) validate(budget int64) error {
+	if err := finite(e.MsgPerSec, e.NSPerMsg, e.QueueMean, e.BinConflictProb, e.BatchWidth, e.Speedup); err != nil {
+		return err
+	}
+	if e.Bins < 1 || e.Bins&(e.Bins-1) != 0 {
+		return fmt.Errorf("bins %d not a power of two", e.Bins)
+	}
+	if e.BlockSize < 1 || e.InFlight < 1 || e.Threads < 1 {
+		return fmt.Errorf("non-positive configuration dimension")
+	}
+	if e.MsgPerSec < 0 || e.BinConflictProb < 0 || e.BinConflictProb > 1 {
+		return fmt.Errorf("metric out of range")
+	}
+	if e.FootprintBytes <= 0 {
+		return fmt.Errorf("non-positive footprint %d", e.FootprintBytes)
+	}
+	if budget > 0 && int64(e.FootprintBytes) > budget {
+		return fmt.Errorf("footprint %d over budget %d", e.FootprintBytes, budget)
+	}
+	return nil
+}
+
+// Validate checks the structural invariants downstream tooling relies on:
+// the schema string, finiteness of every metric (no Inf/NaN ever reaches
+// a document), power-of-two bin counts, recommendations sorted by rate
+// descending, and every recommendation inside the stated budget.
+func (d *Doc) Validate() error {
+	if d.Schema != Schema {
+		return fmt.Errorf("plan: schema %q, want %q", d.Schema, Schema)
+	}
+	if d.App == "" {
+		return fmt.Errorf("plan: missing app")
+	}
+	if len(d.Entries) == 0 {
+		return fmt.Errorf("plan: no recommendations")
+	}
+	if err := finite(d.MeanBurst); err != nil {
+		return fmt.Errorf("plan: mean_burst: %w", err)
+	}
+	// The baseline is informational and exempt from the budget check: a
+	// budget-constrained plan exists precisely because the default may not
+	// fit.
+	if err := d.Baseline.validate(0); err != nil {
+		return fmt.Errorf("plan: baseline: %w", err)
+	}
+	for i := range d.Entries {
+		if err := d.Entries[i].validate(d.BudgetBytes); err != nil {
+			return fmt.Errorf("plan: recommendations[%d]: %w", i, err)
+		}
+		if d.Entries[i].MsgPerSec <= 0 {
+			return fmt.Errorf("plan: recommendations[%d]: msg_per_sec %v, want > 0", i, d.Entries[i].MsgPerSec)
+		}
+		if i > 0 && d.Entries[i].MsgPerSec > d.Entries[i-1].MsgPerSec {
+			return fmt.Errorf("plan: recommendations[%d]: not sorted by rate descending", i)
+		}
+	}
+	return nil
+}
+
+// WriteDoc validates doc and writes it to path, indented.
+func WriteDoc(path string, doc *Doc) error {
+	doc.Schema = Schema
+	if err := doc.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadDoc loads and validates a recommendation document.
+func ReadDoc(path string) (*Doc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc Doc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: not valid JSON: %w", path, err)
+	}
+	if err := doc.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &doc, nil
+}

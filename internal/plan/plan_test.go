@@ -1,0 +1,259 @@
+package plan
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/mpi"
+	"repro/internal/trace"
+	"repro/internal/tracegen"
+)
+
+// pingPongTrace reproduces the §VI message-rate workload as a trace: per
+// repetition the receiver pre-posts k distinct-tag receives, progresses,
+// and the sender fires the k-message sequence back to back. Its arrival
+// bursts are exactly k long, which makes every analytic stage of the
+// planner checkable against the real engine.
+func pingPongTrace(k, reps int) *trace.Trace {
+	tr := &trace.Trace{App: "pingpong", Ranks: []trace.RankTrace{{Rank: 0}, {Rank: 1}}}
+	for rep := 0; rep < reps; rep++ {
+		base := float64(rep)
+		for i := 0; i < k; i++ {
+			tr.Ranks[1].Events = append(tr.Ranks[1].Events, trace.Event{
+				Kind: trace.OpRecv, Name: "MPI_Irecv", Peer: 0, Tag: int32(i),
+				Count: 8, Walltime: base + 0.1 + float64(i)*1e-6})
+		}
+		tr.Ranks[1].Events = append(tr.Ranks[1].Events, trace.Event{
+			Kind: trace.OpProgress, Name: "MPI_Waitall", Walltime: base + 0.2})
+		for i := 0; i < k; i++ {
+			tr.Ranks[0].Events = append(tr.Ranks[0].Events, trace.Event{
+				Kind: trace.OpSend, Name: "MPI_Isend", Peer: 1, Tag: int32(i),
+				Count: 8, Walltime: base + 0.3 + float64(i)*1e-6})
+		}
+	}
+	return tr
+}
+
+func TestFeaturesPingPong(t *testing.T) {
+	const k, reps = 24, 10
+	p := New(pingPongTrace(k, reps), Config{})
+	f := p.Features()
+	if f.Sends != k*reps {
+		t.Errorf("Sends = %d, want %d", f.Sends, k*reps)
+	}
+	if f.MeanBurst != k {
+		t.Errorf("MeanBurst = %v, want %d", f.MeanBurst, k)
+	}
+	if f.MaxBurst != k {
+		t.Errorf("MaxBurst = %d, want %d", f.MaxBurst, k)
+	}
+	if f.AvgPayloadBytes != 8 {
+		t.Errorf("AvgPayloadBytes = %v, want 8", f.AvgPayloadBytes)
+	}
+	if f.MeanPeers != 1 || f.MaxPeers != 1 {
+		t.Errorf("peers = %v/%d, want 1/1", f.MeanPeers, f.MaxPeers)
+	}
+}
+
+func TestCandidateValidate(t *testing.T) {
+	if err := DefaultCandidate().Validate(); err != nil {
+		t.Fatalf("default candidate invalid: %v", err)
+	}
+	bad := []Candidate{
+		{Bins: 3, BlockSize: 32, InFlight: 1, Threads: 32},
+		{Bins: 0, BlockSize: 32, InFlight: 1, Threads: 32},
+		{Bins: 64, BlockSize: 0, InFlight: 1, Threads: 32},
+		{Bins: 64, BlockSize: 64, InFlight: 1, Threads: 32},
+		{Bins: 64, BlockSize: 32, InFlight: 9, Threads: 32},
+		{Bins: 64, BlockSize: 32, InFlight: 1, Threads: 512},
+		{Bins: 64, BlockSize: 32, InFlight: 1, Threads: 32, CoalesceBytes: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad[%d] %+v accepted", i, c)
+		}
+	}
+}
+
+func TestEstimateRejections(t *testing.T) {
+	tr := pingPongTrace(64, 5)
+
+	// Footprint over budget.
+	tight := New(tr, Config{BudgetBytes: 10 * 1024})
+	est, err := tight.Estimate(DefaultCandidate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Reject != "over-budget" {
+		t.Errorf("10KiB budget: Reject = %q, want over-budget (footprint %d)", est.Reject, est.FootprintBytes)
+	}
+
+	// Peak posted depth above the planned capacity: the workload pre-posts
+	// 64 receives, the plan allows 16.
+	shallow := New(tr, Config{MaxReceives: 16})
+	est, err = shallow.Estimate(DefaultCandidate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Reject != "posted-overflow" {
+		t.Errorf("MaxReceives=16: Reject = %q, want posted-overflow (PostedMax %d)", est.Reject, est.PostedMax)
+	}
+
+	// A roomy plan accepts the same candidate.
+	roomy := New(tr, Config{BudgetBytes: 8 << 20})
+	est, err = roomy.Estimate(DefaultCandidate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Reject != "" {
+		t.Errorf("8MiB budget: rejected with %q", est.Reject)
+	}
+	if !est.Offload.Valid() || !est.Host.Valid() {
+		t.Errorf("estimate rates invalid: %+v / %+v", est.Offload, est.Host)
+	}
+}
+
+// TestRecommendDeterminism is the ranking's reproducibility pin: the
+// emitted document must be byte-identical across repeated runs and across
+// replay worker-pool widths (the analyzer guarantees byte-identical
+// reports at any width; the ranking adds a total order on top).
+func TestRecommendDeterminism(t *testing.T) {
+	app, _ := tracegen.ByName("AMG")
+	tr := app.Generate(tracegen.Config{Scale: 10})
+
+	docJSON := func(workers int) []byte {
+		p := New(tr, Config{Workers: workers, BudgetBytes: 4 << 20})
+		res, err := p.Recommend(RecommendConfig{TopN: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		doc := DocFromResult(res, 4<<20)
+		if err := doc.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+
+	first := docJSON(1)
+	again := docJSON(1)
+	wide := docJSON(16)
+	if string(first) != string(again) {
+		t.Error("two identical runs produced different documents")
+	}
+	if string(first) != string(wide) {
+		t.Error("-parallel 1 and 16 produced different documents")
+	}
+}
+
+// TestPlanAccuracyVsMeasured is the planner's calibration pin: on the
+// workload the trace reproduces exactly, the planner's predicted rate for
+// the recommended top configuration must land within ±15% of the rate the
+// cost model assigns to a real engine run of that same configuration (the
+// msgrate -modeled semantics).
+func TestPlanAccuracyVsMeasured(t *testing.T) {
+	const k, reps = 100, 40
+	p := New(pingPongTrace(k, reps), Config{})
+
+	res, err := p.Recommend(RecommendConfig{TopN: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(label string, est Estimate) {
+		c := est.Candidate
+		matcher := bench.PaperMatcherConfig()
+		matcher.Bins = c.Bins
+		matcher.BlockSize = c.BlockSize
+		matcher.InFlightBlocks = c.InFlight
+		run, err := bench.RunMsgRate(bench.MsgRateConfig{
+			Label: label, Engine: mpi.EngineOffload,
+			K: k, Reps: reps, Matcher: matcher,
+			Threads: c.Threads, InFlight: c.InFlight,
+			CoalesceBytes: c.CoalesceBytes, CoalesceMsgs: c.CoalesceMsgs,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		cm := bench.DefaultCostModel()
+		cm.Threads = c.Threads
+		cm.InFlight = c.InFlight
+		cm.BatchWidth = run.BatchWidth
+		measured := cm.ModelOffload(label, run.MatchStats, run.Depth)
+		if !measured.Valid() || !est.Offload.Valid() {
+			t.Fatalf("%s: invalid rate (measured %+v, predicted %+v)", label, measured, est.Offload)
+		}
+		rel := math.Abs(est.Offload.MsgPerSec-measured.MsgPerSec) / measured.MsgPerSec
+		t.Logf("%s (%s): predicted %.0f msg/s, measured-modeled %.0f msg/s (%.1f%% off)",
+			label, c, est.Offload.MsgPerSec, measured.MsgPerSec, 100*rel)
+		if rel > 0.15 {
+			t.Errorf("%s: prediction off by %.1f%% (> 15%%)", label, 100*rel)
+		}
+	}
+	check("top", res.Entries[0])
+	check("baseline", res.Baseline)
+}
+
+func TestDocValidate(t *testing.T) {
+	goodEntry := Entry{
+		Bins: 512, BlockSize: 32, InFlight: 1, Threads: 32,
+		MsgPerSec: 1e6, NSPerMsg: 1000, QueueMean: 0.5, QueueMax: 3,
+		BinConflictProb: 0.1, FootprintBytes: 100_000, Speedup: 1.0,
+	}
+	good := func() *Doc {
+		e2 := goodEntry
+		e2.MsgPerSec = 0.9e6
+		return &Doc{
+			Schema: Schema, App: "x", Procs: 2, MeanBurst: 10,
+			Evaluated: 2, Baseline: goodEntry, Entries: []Entry{goodEntry, e2},
+		}
+	}
+	if err := good().Validate(); err != nil {
+		t.Fatalf("good doc rejected: %v", err)
+	}
+
+	cases := map[string]func(*Doc){
+		"schema":     func(d *Doc) { d.Schema = "repro/plan/v0" },
+		"no entries": func(d *Doc) { d.Entries = nil },
+		"inf rate":   func(d *Doc) { d.Entries[0].MsgPerSec = math.Inf(1) },
+		"nan queue":  func(d *Doc) { d.Entries[1].QueueMean = math.NaN() },
+		"unsorted":   func(d *Doc) { d.Entries[1].MsgPerSec = 2e6 },
+		"bins":       func(d *Doc) { d.Entries[0].Bins = 100 },
+		"zero rate":  func(d *Doc) { d.Entries[1].MsgPerSec = 0 },
+		"overbudget": func(d *Doc) { d.BudgetBytes = 50_000 },
+		"baseline":   func(d *Doc) { d.Baseline.NSPerMsg = math.Inf(1) },
+	}
+	for name, corrupt := range cases {
+		d := good()
+		corrupt(d)
+		if err := d.Validate(); err == nil {
+			t.Errorf("%s: corrupted doc accepted", name)
+		}
+	}
+}
+
+// TestDocRoundTrip pins Write/Read symmetry and that a written document
+// never contains the tokens encoding/json would need for Inf/NaN.
+func TestDocRoundTrip(t *testing.T) {
+	p := New(pingPongTrace(32, 5), Config{})
+	res, err := p.Recommend(RecommendConfig{TopN: 3, RefineRounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := DocFromResult(res, 0)
+	path := t.TempDir() + "/plan.json"
+	if err := WriteDoc(path, doc); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadDoc(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Entries) != len(doc.Entries) || back.App != doc.App {
+		t.Errorf("round trip lost data: %+v", back)
+	}
+}

@@ -1,0 +1,288 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/obs"
+)
+
+// Dimension ladders: every value a recommendation may visit, in ascending
+// order. The coarse grid samples a subset; refinement moves one rung at a
+// time around the leaders.
+var (
+	binsLadder     = []int{64, 128, 256, 512, 1024, 2048, 4096, 8192}
+	blockLadder    = []int{4, 8, 16, 32}
+	inFlightLadder = []int{1, 2, 4, 8}
+	threadsLadder  = []int{32, 64, 128, 256}
+	// coalesceLadder pairs (bytes, msgs); index 0 is off.
+	coalesceLadder = [][2]int{{0, 0}, {2048, 4}, {4096, 8}, {8192, 16}}
+)
+
+// Coarse-grid sample indices into the ladders.
+var (
+	binsCoarse     = []int{0, 3, 6} // 64, 512, 4096
+	blockCoarse    = []int{1, 3}    // 8, 32
+	inFlightCoarse = []int{0, 2}    // 1, 4
+	threadsCoarse  = []int{0, 2}    // 32, 128
+	coalesceCoarse = []int{0, 2}    // off, 4096B/8
+)
+
+// ladderIndex is a candidate's position on each dimension ladder.
+type ladderIndex struct {
+	bins, block, inFlight, threads, coalesce int
+}
+
+func (li ladderIndex) candidate() Candidate {
+	return Candidate{
+		Bins:          binsLadder[li.bins],
+		BlockSize:     blockLadder[li.block],
+		InFlight:      inFlightLadder[li.inFlight],
+		Threads:       threadsLadder[li.threads],
+		CoalesceBytes: coalesceLadder[li.coalesce][0],
+		CoalesceMsgs:  coalesceLadder[li.coalesce][1],
+	}
+}
+
+// neighbors yields the one-rung moves along each dimension, in a fixed
+// order (dimension by dimension, down before up) so refinement is
+// deterministic.
+func (li ladderIndex) neighbors() []ladderIndex {
+	out := make([]ladderIndex, 0, 10)
+	step := func(set func(*ladderIndex, int), cur, max int) {
+		if cur > 0 {
+			n := li
+			set(&n, cur-1)
+			out = append(out, n)
+		}
+		if cur < max-1 {
+			n := li
+			set(&n, cur+1)
+			out = append(out, n)
+		}
+	}
+	step(func(n *ladderIndex, v int) { n.bins = v }, li.bins, len(binsLadder))
+	step(func(n *ladderIndex, v int) { n.block = v }, li.block, len(blockLadder))
+	step(func(n *ladderIndex, v int) { n.inFlight = v }, li.inFlight, len(inFlightLadder))
+	step(func(n *ladderIndex, v int) { n.threads = v }, li.threads, len(threadsLadder))
+	step(func(n *ladderIndex, v int) { n.coalesce = v }, li.coalesce, len(coalesceLadder))
+	return out
+}
+
+// RecommendConfig tunes the search.
+type RecommendConfig struct {
+	// TopN is the number of ranked recommendations to return (default 3).
+	TopN int
+	// Leaders is how many leaders seed each refinement round (default 3).
+	Leaders int
+	// RefineRounds is the number of local-refinement rounds around the
+	// leaders (default 2; 0 disables refinement).
+	RefineRounds int
+}
+
+func (rc *RecommendConfig) fill() {
+	if rc.TopN == 0 {
+		rc.TopN = 3
+	}
+	if rc.Leaders == 0 {
+		rc.Leaders = 3
+	}
+	if rc.RefineRounds == 0 {
+		rc.RefineRounds = 2
+	}
+	if rc.RefineRounds < 0 {
+		rc.RefineRounds = 0
+	}
+}
+
+// Result is one recommendation run's outcome.
+type Result struct {
+	Features Features
+	// Baseline is the current default configuration's estimate.
+	Baseline Estimate
+	// Entries are the budget-feasible candidates, ranked best first.
+	Entries []Estimate
+	// Evaluated / Rejected count all candidates priced and those rejected
+	// as infeasible (over budget or posted-receive overflow).
+	Evaluated int
+	Rejected  int
+}
+
+// rankLess is the total ranking order: modeled rate descending, then a
+// full lexicographic tie-break over footprint and every configuration
+// dimension, so rankings are byte-identical run to run.
+func rankLess(a, b Estimate) bool {
+	if a.Offload.MsgPerSec != b.Offload.MsgPerSec {
+		return a.Offload.MsgPerSec > b.Offload.MsgPerSec
+	}
+	if a.FootprintBytes != b.FootprintBytes {
+		return a.FootprintBytes < b.FootprintBytes
+	}
+	ca, cb := a.Candidate, b.Candidate
+	if ca.Bins != cb.Bins {
+		return ca.Bins < cb.Bins
+	}
+	if ca.BlockSize != cb.BlockSize {
+		return ca.BlockSize < cb.BlockSize
+	}
+	if ca.InFlight != cb.InFlight {
+		return ca.InFlight < cb.InFlight
+	}
+	if ca.Threads != cb.Threads {
+		return ca.Threads < cb.Threads
+	}
+	if ca.CoalesceBytes != cb.CoalesceBytes {
+		return ca.CoalesceBytes < cb.CoalesceBytes
+	}
+	return ca.CoalesceMsgs < cb.CoalesceMsgs
+}
+
+// Recommend searches the configuration space: a coarse grid over the
+// dimension ladders, then RefineRounds rounds of one-rung moves around
+// the leaders. Every distinct bin count's replay is batched through
+// Prefetch so the analyzer pool fans out once per round, and the final
+// ranking is fully deterministic (rankLess is a total order).
+func (p *Planner) Recommend(rc RecommendConfig) (*Result, error) {
+	rc.fill()
+
+	// Coarse grid, in fixed nested order.
+	frontier := make([]ladderIndex, 0,
+		len(binsCoarse)*len(blockCoarse)*len(inFlightCoarse)*len(threadsCoarse)*len(coalesceCoarse))
+	for _, bi := range binsCoarse {
+		for _, bl := range blockCoarse {
+			for _, k := range inFlightCoarse {
+				for _, th := range threadsCoarse {
+					for _, co := range coalesceCoarse {
+						frontier = append(frontier, ladderIndex{bins: bi, block: bl, inFlight: k, threads: th, coalesce: co})
+					}
+				}
+			}
+		}
+	}
+
+	res := &Result{Features: p.feats}
+	visited := make(map[ladderIndex]bool)
+	var feasible []Estimate
+	phase := PhaseGrid
+
+	for round := 0; round <= rc.RefineRounds; round++ {
+		fresh := make([]ladderIndex, 0, len(frontier))
+		for _, li := range frontier {
+			if !visited[li] {
+				visited[li] = true
+				fresh = append(fresh, li)
+			}
+		}
+		if len(fresh) == 0 {
+			break
+		}
+		start := p.cfg.Obs.Now()
+
+		// Batch this round's replays into one pool fan-out.
+		bins := make([]int, 0, len(fresh))
+		for _, li := range fresh {
+			bins = append(bins, binsLadder[li.bins])
+		}
+		if err := p.Prefetch(bins); err != nil {
+			return nil, err
+		}
+
+		for _, li := range fresh {
+			est, err := p.Estimate(li.candidate())
+			if err != nil {
+				return nil, err
+			}
+			res.Evaluated++
+			if est.Reject != "" {
+				res.Rejected++
+				continue
+			}
+			if !est.Offload.Valid() {
+				continue
+			}
+			feasible = append(feasible, est)
+		}
+		if p.cfg.Obs.Enabled() {
+			p.cfg.Obs.Event(obs.EvPlanPhase, 0, phase,
+				uint64(p.cfg.Obs.Now()-start), uint64(len(fresh)))
+		}
+		phase = PhaseRefine
+
+		if round == rc.RefineRounds {
+			break
+		}
+		// Next frontier: one-rung moves around the current leaders.
+		sort.SliceStable(feasible, func(i, j int) bool { return rankLess(feasible[i], feasible[j]) })
+		frontier = frontier[:0]
+		leaders := rc.Leaders
+		if leaders > len(feasible) {
+			leaders = len(feasible)
+		}
+		for _, lead := range feasible[:leaders] {
+			li, ok := indexOf(lead.Candidate)
+			if !ok {
+				continue
+			}
+			frontier = append(frontier, li.neighbors()...)
+		}
+	}
+
+	if len(feasible) == 0 {
+		if res.Rejected > 0 {
+			return nil, fmt.Errorf("plan: all %d candidates rejected (budget %d bytes)", res.Rejected, p.cfg.BudgetBytes)
+		}
+		return nil, fmt.Errorf("plan: no candidate produced a valid modeled rate")
+	}
+
+	rankStart := p.cfg.Obs.Now()
+	sort.SliceStable(feasible, func(i, j int) bool { return rankLess(feasible[i], feasible[j]) })
+	if len(feasible) > rc.TopN {
+		feasible = feasible[:rc.TopN]
+	}
+	res.Entries = feasible
+	if p.cfg.Obs.Enabled() {
+		p.cfg.Obs.Event(obs.EvPlanPhase, 0, PhaseRank,
+			uint64(p.cfg.Obs.Now()-rankStart), uint64(len(feasible)))
+	}
+
+	base, err := p.Estimate(DefaultCandidate())
+	if err != nil {
+		return nil, err
+	}
+	res.Baseline = base
+	return res, nil
+}
+
+// indexOf maps a ladder-valued candidate back to its ladder position.
+func indexOf(c Candidate) (ladderIndex, bool) {
+	var li ladderIndex
+	var ok bool
+	if li.bins, ok = find(binsLadder, c.Bins); !ok {
+		return li, false
+	}
+	if li.block, ok = find(blockLadder, c.BlockSize); !ok {
+		return li, false
+	}
+	if li.inFlight, ok = find(inFlightLadder, c.InFlight); !ok {
+		return li, false
+	}
+	if li.threads, ok = find(threadsLadder, c.Threads); !ok {
+		return li, false
+	}
+	for i, pair := range coalesceLadder {
+		if pair[0] == c.CoalesceBytes && pair[1] == c.CoalesceMsgs {
+			li.coalesce = i
+			return li, true
+		}
+	}
+	return li, false
+}
+
+func find(ladder []int, v int) (int, bool) {
+	for i, x := range ladder {
+		if x == v {
+			return i, true
+		}
+	}
+	return 0, false
+}
