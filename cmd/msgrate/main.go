@@ -4,13 +4,15 @@
 // slow-path (WC-SP) settings, plus the MPI-CPU and RDMA-CPU baselines.
 //
 // With -ranks N it instead runs the multi-rank ring message-rate workload,
-// and with -transport tcp|udp the N ranks become N OS processes over real
-// sockets: the command re-executes itself once per rank (spawning a small
-// coordinator for rank/address exchange), so one invocation measures true
-// multi-core scaling:
+// and with -transport tcp|udp|shm|hybrid the N ranks become N OS processes
+// over real sockets or shared-memory rings: the command re-executes itself
+// once per rank (spawning a small coordinator for rank/address exchange),
+// so one invocation measures true multi-core scaling:
 //
 //	msgrate -transport tcp -ranks 4 -bench-json out.json
 //	msgrate -transport udp -ranks 2 -faults seed=7,drop=0.05
+//	msgrate -transport shm -ranks 4
+//	msgrate -transport hybrid -ranks 4 -sim-hosts 2
 package main
 
 import (
@@ -62,8 +64,9 @@ func main() {
 		blockprof     = flag.String("blockprofile", "", "write a goroutine blocking profile to this file on exit")
 		traceOut      = flag.String("trace-out", "", "write a Chrome trace_event JSON (chrome://tracing, Perfetto) to this file")
 		statsJSON     = flag.String("stats-json", "", "write observability counter/histogram snapshots as JSON to this file")
-		transport     = flag.String("transport", "inproc", "fabric transport: inproc | tcp | udp")
-		ranks         = flag.Int("ranks", 0, "ring-mode world size (0 = classic two-rank Figure 8; requires >= 1 with tcp/udp)")
+		transport     = flag.String("transport", "inproc", "fabric transport: inproc | tcp | udp | shm | hybrid")
+		ranks         = flag.Int("ranks", 0, "ring-mode world size (0 = classic two-rank Figure 8; requires >= 1 with a non-inproc transport)")
+		simHosts      = flag.Int("sim-hosts", 0, "hybrid only: spread ranks round-robin over N simulated hosts (0 = real hostname)")
 		rank          = flag.Int("rank", -1, "this process's rank (set by the launcher; -1 = launch all ranks)")
 		coord         = flag.String("coord", "", "coordinator address for rank/address exchange (set by the launcher)")
 		engine        = flag.String("engine", "host", "ring-mode matching engine: host | offload | raw")
@@ -74,9 +77,11 @@ func main() {
 		"host": mpi.EngineHost, "offload": mpi.EngineOffload, "raw": mpi.EngineRaw,
 	}
 	engineKind, engineOK := engines[*engine]
+	validTransport := map[string]bool{"inproc": true, "tcp": true, "udp": true, "shm": true, "hybrid": true}
+	reliableNet := map[string]bool{"tcp": true, "shm": true, "hybrid": true}
 	switch {
-	case *transport != "inproc" && *transport != "tcp" && *transport != "udp":
-		fmt.Fprintf(os.Stderr, "msgrate: -transport %q, want inproc, tcp, or udp\n", *transport)
+	case !validTransport[*transport]:
+		fmt.Fprintf(os.Stderr, "msgrate: -transport %q, want inproc, tcp, udp, shm, or hybrid\n", *transport)
 		os.Exit(2)
 	case !engineOK:
 		fmt.Fprintf(os.Stderr, "msgrate: -engine %q, want host, offload, or raw\n", *engine)
@@ -88,7 +93,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "msgrate: -transport %s needs -ranks >= 1\n", *transport)
 		os.Exit(2)
 	case *transport == "inproc" && (*rank != -1 || *coord != ""):
-		fmt.Fprintf(os.Stderr, "msgrate: -rank/-coord are only meaningful with -transport tcp|udp\n")
+		fmt.Fprintf(os.Stderr, "msgrate: -rank/-coord are only meaningful with a non-inproc transport\n")
 		os.Exit(2)
 	case *rank < -1 || (*ranks > 0 && *rank >= *ranks):
 		fmt.Fprintf(os.Stderr, "msgrate: -rank %d outside [0,%d)\n", *rank, *ranks)
@@ -99,8 +104,14 @@ func main() {
 	case *rank < 0 && *coord != "":
 		fmt.Fprintf(os.Stderr, "msgrate: -coord requires -rank\n")
 		os.Exit(2)
-	case *transport == "tcp" && *faults != "":
-		fmt.Fprintf(os.Stderr, "msgrate: TCP models a reliable transport; lossy runs need -transport udp or -transport inproc\n")
+	case reliableNet[*transport] && *faults != "":
+		fmt.Fprintf(os.Stderr, "msgrate: %s models a reliable transport; lossy runs need -transport udp or -transport inproc\n", *transport)
+		os.Exit(2)
+	case *simHosts != 0 && *transport != "hybrid":
+		fmt.Fprintf(os.Stderr, "msgrate: -sim-hosts only applies to -transport hybrid\n")
+		os.Exit(2)
+	case *simHosts < 0:
+		fmt.Fprintf(os.Stderr, "msgrate: -sim-hosts %d must be >= 0\n", *simHosts)
 		os.Exit(2)
 	case *transport != "inproc" && *modeled:
 		fmt.Fprintf(os.Stderr, "msgrate: -modeled rates are core-count independent; they only make sense with -transport inproc\n")
@@ -219,10 +230,14 @@ func main() {
 		} else {
 			// Over sockets the fault plan arms the transport's injector;
 			// UDP's unreliability alone already arms the repair sublayer.
-			tr, terr := netfabric.New(netfabric.Config{
+			ncfg := netfabric.Config{
 				Network: *transport, Rank: *rank, Ranks: *ranks,
 				Coord: *coord, Faults: plan, Obs: obsOpts,
-			})
+			}
+			if *simHosts > 0 {
+				ncfg.Host = fmt.Sprintf("simhost-%d", *rank%*simHosts)
+			}
+			tr, terr := netfabric.New(ncfg)
 			if terr != nil {
 				fmt.Fprintf(os.Stderr, "msgrate: %v\n", terr)
 				os.Exit(1)
@@ -253,14 +268,25 @@ func main() {
 		if *rank <= 0 {
 			doc.Config.Transport = *transport
 			doc.Config.Ranks = *ranks
+			doc.Config.SimHosts = *simHosts
 			doc.Config.Cores = runtime.NumCPU()
-			doc.Results = append(doc.Results, bench.BenchEntry{
+			entry := bench.BenchEntry{
 				Label:     res.Label,
 				Engine:    engineKind.String(),
 				MsgPerSec: res.MsgPerSec,
 				Messages:  res.Messages,
 				ElapsedNS: res.Elapsed.Nanoseconds(),
-			})
+			}
+			// shm/hybrid runs report the writing rank's spin/park behavior
+			// alongside the rate.
+			for _, nd := range res.Sinks {
+				if nd.Name == "fabric" {
+					entry.ShmSpinWakes += nd.Sink.Counters.Load(obs.CtrShmSpinWakes)
+					entry.ShmParks += nd.Sink.Counters.Load(obs.CtrShmParks)
+					entry.ShmRingFull += nd.Sink.Counters.Load(obs.CtrShmRingFull)
+				}
+			}
+			doc.Results = append(doc.Results, entry)
 			writeBench()
 			if *traceOut != "" {
 				if err := obs.WriteTraceFile(*traceOut, res.Sinks); err != nil {

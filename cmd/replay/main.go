@@ -3,16 +3,19 @@
 // and flows through the selected matching engine — the end-to-end
 // counterpart of the analyzer's trace-timeline emulation.
 //
-// With -transport tcp|udp each trace rank becomes its own OS process over
-// real sockets: the command re-executes itself once per rank (spawning a
-// small coordinator for rank/address exchange), and every process replays
-// its one rank of the same deterministic trace.
+// With -transport tcp|udp|shm|hybrid each trace rank becomes its own OS
+// process: the command re-executes itself once per rank (spawning a small
+// coordinator for rank/address exchange), and every process replays its one
+// rank of the same deterministic trace — over sockets, shared-memory rings,
+// or the locality-routed mix of both.
 //
 // Usage:
 //
 //	replay -app "BoxLib CNS" -engine offload -scale 25
 //	replay -dir traces/BoxLib_CNS -app "BoxLib CNS"
 //	replay -app AMG -scale 10 -transport tcp
+//	replay -app AMG -scale 10 -transport shm
+//	replay -app AMG -scale 10 -transport hybrid -sim-hosts 2
 package main
 
 import (
@@ -45,22 +48,25 @@ func main() {
 		faults        = flag.String("faults", "", "deterministic fault plan, e.g. seed=1,drop=0.05,dup=0.02")
 		traceOut      = flag.String("trace-out", "", "write a Chrome trace_event JSON (chrome://tracing, Perfetto) to this file")
 		statsJSON     = flag.String("stats-json", "", "write observability counter/histogram snapshots as JSON to this file")
-		transport     = flag.String("transport", "inproc", "fabric transport: inproc | tcp | udp")
+		transport     = flag.String("transport", "inproc", "fabric transport: inproc | tcp | udp | shm | hybrid")
+		simHosts      = flag.Int("sim-hosts", 0, "hybrid only: spread ranks round-robin over N simulated hosts (0 = real hostname)")
 		ranks         = flag.Int("ranks", 0, "expected world size (0 = the trace's own rank count; a mismatch is an error)")
 		rank          = flag.Int("rank", -1, "this process's rank (set by the launcher; -1 = launch all ranks)")
 		coord         = flag.String("coord", "", "coordinator address for rank/address exchange (set by the launcher)")
 	)
 	flag.Parse()
 
+	validTransport := map[string]bool{"inproc": true, "tcp": true, "udp": true, "shm": true, "hybrid": true}
+	reliableNet := map[string]bool{"tcp": true, "shm": true, "hybrid": true}
 	switch {
-	case *transport != "inproc" && *transport != "tcp" && *transport != "udp":
-		fmt.Fprintf(os.Stderr, "replay: -transport %q, want inproc, tcp, or udp\n", *transport)
+	case !validTransport[*transport]:
+		fmt.Fprintf(os.Stderr, "replay: -transport %q, want inproc, tcp, udp, shm, or hybrid\n", *transport)
 		os.Exit(2)
 	case *ranks < 0:
 		fmt.Fprintf(os.Stderr, "replay: -ranks %d must be >= 0\n", *ranks)
 		os.Exit(2)
 	case *transport == "inproc" && (*rank != -1 || *coord != ""):
-		fmt.Fprintf(os.Stderr, "replay: -rank/-coord are only meaningful with -transport tcp|udp\n")
+		fmt.Fprintf(os.Stderr, "replay: -rank/-coord are only meaningful with a net transport\n")
 		os.Exit(2)
 	case *rank < -1 || (*ranks > 0 && *rank >= *ranks):
 		fmt.Fprintf(os.Stderr, "replay: -rank %d outside [0,%d)\n", *rank, *ranks)
@@ -71,8 +77,14 @@ func main() {
 	case *rank < 0 && *coord != "":
 		fmt.Fprintf(os.Stderr, "replay: -coord requires -rank\n")
 		os.Exit(2)
-	case *transport == "tcp" && *faults != "":
-		fmt.Fprintf(os.Stderr, "replay: TCP models a reliable transport; lossy runs need -transport udp or -transport inproc\n")
+	case reliableNet[*transport] && *faults != "":
+		fmt.Fprintf(os.Stderr, "replay: %s models a reliable transport; lossy runs need -transport udp or -transport inproc\n", *transport)
+		os.Exit(2)
+	case *simHosts != 0 && *transport != "hybrid":
+		fmt.Fprintf(os.Stderr, "replay: -sim-hosts only applies to -transport hybrid\n")
+		os.Exit(2)
+	case *simHosts < 0:
+		fmt.Fprintf(os.Stderr, "replay: -sim-hosts %d must be >= 0\n", *simHosts)
 		os.Exit(2)
 	}
 
@@ -164,10 +176,14 @@ func main() {
 		if cfg.Options.RecvDepth == 0 {
 			cfg.Options.RecvDepth = 64
 		}
-		trans, terr := netfabric.New(netfabric.Config{
+		ncfg := netfabric.Config{
 			Network: *transport, Rank: *rank, Ranks: n,
 			Coord: *coord, Faults: plan, Obs: cfg.Options.Obs,
-		})
+		}
+		if *simHosts > 0 {
+			ncfg.Host = fmt.Sprintf("simhost-%d", *rank%*simHosts)
+		}
+		trans, terr := netfabric.New(ncfg)
 		if terr != nil {
 			fatal(terr)
 		}

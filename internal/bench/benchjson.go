@@ -32,8 +32,12 @@ type BenchConfig struct {
 	Faults        string `json:"faults,omitempty"`
 	Modeled       bool   `json:"modeled"`
 	// Transport is the fabric the run used: "" or "inproc" (in-process
-	// channels, the default), "tcp", or "udp" (out-of-process sockets).
+	// channels, the default), "tcp", "udp" (out-of-process sockets),
+	// "shm" (shared-memory rings), or "hybrid" (locality-routed shm/TCP).
 	Transport string `json:"transport,omitempty"`
+	// SimHosts is the number of simulated hosts a hybrid run spread its
+	// ranks across (0 when unused).
+	SimHosts int `json:"sim_hosts,omitempty"`
 	// Ranks is the world size for ring-mode runs (0 for the classic
 	// two-rank Figure 8 ping-pong).
 	Ranks int `json:"ranks,omitempty"`
@@ -54,6 +58,12 @@ type BenchEntry struct {
 	NSPerMsg     float64 `json:"ns_per_msg,omitempty"`
 	BatchWidth   float64 `json:"batch_width,omitempty"`
 	AllocsPerMsg float64 `json:"allocs_per_msg,omitempty"`
+	// Shared-memory transport tallies (shm/hybrid runs): waits resolved
+	// within the spin budget vs spin-to-park transitions, and send-side
+	// full-ring stall episodes. Zero and omitted elsewhere.
+	ShmSpinWakes uint64 `json:"shm_spin_wakes,omitempty"`
+	ShmParks     uint64 `json:"shm_parks,omitempty"`
+	ShmRingFull  uint64 `json:"shm_ring_full,omitempty"`
 }
 
 // Validate checks the structural invariants downstream tooling relies on.
@@ -65,12 +75,15 @@ func (d *BenchDoc) Validate() error {
 		return fmt.Errorf("bench: no results")
 	}
 	switch d.Config.Transport {
-	case "", "inproc", "tcp", "udp":
+	case "", "inproc", "tcp", "udp", "shm", "hybrid":
 	default:
 		return fmt.Errorf("bench: unknown transport %q", d.Config.Transport)
 	}
 	if d.Config.Ranks < 0 {
 		return fmt.Errorf("bench: negative ranks %d", d.Config.Ranks)
+	}
+	if d.Config.SimHosts < 0 {
+		return fmt.Errorf("bench: negative sim_hosts %d", d.Config.SimHosts)
 	}
 	seen := make(map[string]bool, len(d.Results))
 	for i, r := range d.Results {

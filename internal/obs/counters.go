@@ -163,6 +163,30 @@ const (
 	// (UDP: the request or its response was lost).
 	CtrNetReadRetries
 
+	// Shared-memory transport counters (internal/rdma/netfabric shm.go):
+	// the intra-node ring datapath. They share the "fabric" sink with the
+	// socket counters (the hybrid transport increments both families).
+
+	// CtrShmTxFrames counts frames staged into peer rings.
+	CtrShmTxFrames
+	// CtrShmTxBytes counts encoded frame bytes staged into peer rings.
+	CtrShmTxBytes
+	// CtrShmRxFrames counts frames consumed from inbound rings.
+	CtrShmRxFrames
+	// CtrShmRxBytes counts payload bytes consumed from inbound rings.
+	CtrShmRxBytes
+	// CtrShmSpinWakes counts waits resolved within the bounded busy-poll
+	// budget (work arrived before the poller had to park).
+	CtrShmSpinWakes
+	// CtrShmParks counts spin-to-park transitions (the budget ran dry and
+	// the waiter fell back to timed sleeps).
+	CtrShmParks
+	// CtrShmRingFull counts send-side stall episodes on a full ring.
+	CtrShmRingFull
+	// CtrShmReads counts zero-round-trip rendezvous reads served straight
+	// from a shared arena (no READ RPC).
+	CtrShmReads
+
 	// NumCounters bounds the enum; it must stay last.
 	NumCounters
 )
@@ -224,6 +248,14 @@ var counterNames = [NumCounters]string{
 	CtrNetStalls:            "net_stalls",
 	CtrNetReadReqs:          "net_read_reqs",
 	CtrNetReadRetries:       "net_read_retries",
+	CtrShmTxFrames:          "shm_tx_frames",
+	CtrShmTxBytes:           "shm_tx_bytes",
+	CtrShmRxFrames:          "shm_rx_frames",
+	CtrShmRxBytes:           "shm_rx_bytes",
+	CtrShmSpinWakes:         "shm_spin_wakes",
+	CtrShmParks:             "shm_parks",
+	CtrShmRingFull:          "shm_ring_full",
+	CtrShmReads:             "shm_reads",
 }
 
 // String returns the counter's stable snapshot key.

@@ -18,15 +18,24 @@ import (
 //
 //	rank -> coord:  {"rank":K,"ranks":N,"addr":"127.0.0.1:4242"}\n
 //	coord -> rank:  {"addrs":["127.0.0.1:4242",...]}\n        (or {"error":...})
+//
+// Hybrid ranks additionally announce the host they run on and the path of
+// their shared-memory segment; the book then carries the full host map,
+// which is what locality-aware routing consults to pick shm vs TCP per
+// peer.
 
 type coordHello struct {
 	Rank  int    `json:"rank"`
 	Ranks int    `json:"ranks"`
 	Addr  string `json:"addr"`
+	Host  string `json:"host,omitempty"`
+	Shm   string `json:"shm,omitempty"`
 }
 
 type coordBook struct {
 	Addrs []string `json:"addrs,omitempty"`
+	Hosts []string `json:"hosts,omitempty"`
+	Shms  []string `json:"shms,omitempty"`
 	Error string   `json:"error,omitempty"`
 }
 
@@ -37,6 +46,9 @@ type coordBook struct {
 func ServeCoordinator(ln net.Listener, ranks int) error {
 	conns := make([]net.Conn, ranks)
 	addrs := make([]string, ranks)
+	hosts := make([]string, ranks)
+	shms := make([]string, ranks)
+	anyHost, anyShm := false, false
 	defer func() {
 		for _, c := range conns {
 			if c != nil {
@@ -71,9 +83,18 @@ func ServeCoordinator(ln net.Listener, ranks int) error {
 			return err
 		}
 		conns[h.Rank], addrs[h.Rank] = conn, h.Addr
+		hosts[h.Rank], shms[h.Rank] = h.Host, h.Shm
+		anyHost = anyHost || h.Host != ""
+		anyShm = anyShm || h.Shm != ""
 		got++
 	}
 	book := coordBook{Addrs: addrs}
+	if anyHost {
+		book.Hosts = hosts
+	}
+	if anyShm {
+		book.Shms = shms
+	}
 	for _, c := range conns {
 		if err := reply(c, book); err != nil {
 			return fmt.Errorf("netfabric: coordinator: send book: %w", err)
@@ -95,28 +116,39 @@ func reply(conn net.Conn, book coordBook) error {
 // until the coordinator releases the full address book — the startup
 // barrier every transport constructor passes through.
 func registerWithCoord(coord string, rank, ranks int, addr string) ([]string, error) {
-	conn, err := net.DialTimeout("tcp", coord, 30*time.Second)
-	if err != nil {
-		return nil, fmt.Errorf("netfabric: dial coordinator %s: %w", coord, err)
-	}
-	defer conn.Close()
-	conn.SetDeadline(time.Now().Add(60 * time.Second))
-	b, err := json.Marshal(coordHello{Rank: rank, Ranks: ranks, Addr: addr})
+	book, err := registerHello(coord, coordHello{Rank: rank, Ranks: ranks, Addr: addr})
 	if err != nil {
 		return nil, err
 	}
-	if _, err := conn.Write(append(b, '\n')); err != nil {
-		return nil, fmt.Errorf("netfabric: register with coordinator: %w", err)
-	}
+	return book.Addrs, nil
+}
+
+// registerHello is the full-book variant of registerWithCoord: hybrid
+// ranks announce host and shm segment alongside the address and need the
+// peers' host map back.
+func registerHello(coord string, hello coordHello) (coordBook, error) {
 	var book coordBook
+	conn, err := net.DialTimeout("tcp", coord, 30*time.Second)
+	if err != nil {
+		return book, fmt.Errorf("netfabric: dial coordinator %s: %w", coord, err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(60 * time.Second))
+	b, err := json.Marshal(hello)
+	if err != nil {
+		return book, err
+	}
+	if _, err := conn.Write(append(b, '\n')); err != nil {
+		return book, fmt.Errorf("netfabric: register with coordinator: %w", err)
+	}
 	if err := json.NewDecoder(bufio.NewReader(conn)).Decode(&book); err != nil {
-		return nil, fmt.Errorf("netfabric: await address book: %w", err)
+		return book, fmt.Errorf("netfabric: await address book: %w", err)
 	}
 	if book.Error != "" {
-		return nil, fmt.Errorf("netfabric: coordinator rejected rank %d: %s", rank, book.Error)
+		return book, fmt.Errorf("netfabric: coordinator rejected rank %d: %s", hello.Rank, book.Error)
 	}
-	if len(book.Addrs) != ranks {
-		return nil, fmt.Errorf("netfabric: address book has %d entries, want %d", len(book.Addrs), ranks)
+	if len(book.Addrs) != hello.Ranks {
+		return book, fmt.Errorf("netfabric: address book has %d entries, want %d", len(book.Addrs), hello.Ranks)
 	}
-	return book.Addrs, nil
+	return book, nil
 }

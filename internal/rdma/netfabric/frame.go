@@ -122,7 +122,10 @@ func parseReadReq(p []byte) (reqID, rkey uint64, offset, length int, err error) 
 		vals[i] = v
 		p = p[n:]
 	}
-	if vals[2] > maxFramePayload || vals[3] > maxFramePayload {
+	// Chunked reads carry offsets well past the frame cap; only the
+	// per-request length must fit in one response frame. The offset bound
+	// is a plain sanity cap against corrupt varints.
+	if vals[2] > 1<<40 || vals[3] > maxFramePayload {
 		return 0, 0, 0, 0, fmt.Errorf("netfabric: read request range out of bounds")
 	}
 	return vals[0], vals[1], int(vals[2]), int(vals[3]), nil

@@ -1,7 +1,7 @@
-// Package netfabric carries a mini-MPI world over real sockets, so rank
-// processes run out-of-process with true multi-core parallelism. It
-// provides two rdma.Transport implementations behind the interface
-// extracted from the in-process fabric:
+// Package netfabric carries a mini-MPI world over real sockets and shared
+// memory, so rank processes run out-of-process with true multi-core
+// parallelism. It provides four rdma.Transport implementations behind the
+// interface extracted from the in-process fabric:
 //
 //   - TCP: one connection per unordered rank pair, length-prefixed frames,
 //     a per-peer writer goroutine that drains a send queue into batched
@@ -17,9 +17,19 @@
 //     machinery becomes load-bearing. A deterministic rdma.FaultPlan can
 //     additionally be armed on the send path to force repairs at any rate.
 //
+//   - shm (shm.go): mmap-backed per-peer-pair SPSC ring buffers carrying
+//     the same frame codec, with an adaptive spin-then-park wait, for
+//     co-located ranks. Rendezvous registrations live in a per-rank shared
+//     arena, so a same-host READ is a direct bounds-checked memcpy from
+//     the owner's segment — zero round trips.
+//
+//   - hybrid (hybrid.go): consults the coordinator's host map and routes
+//     each peer over shm (same host) or TCP (cross host).
+//
 // The rendezvous protocol's one-sided READ becomes a request/response
 // exchange (frReadReq/frReadResp) against the owner's registered-region
-// table; over UDP the idempotent request retries on a timeout.
+// table; over UDP the idempotent request retries on a timeout; reads
+// larger than one frame are split into pipelined sub-reads.
 //
 // Rank/address rendezvous at startup is a tiny JSON-lines coordinator
 // (coord.go); Launch (launch.go) re-executes the current binary once per
@@ -28,6 +38,7 @@ package netfabric
 
 import (
 	"fmt"
+	"os"
 	"sync"
 	"time"
 
@@ -37,7 +48,7 @@ import (
 
 // Config parameterizes one rank's transport.
 type Config struct {
-	// Network selects the transport: "tcp" or "udp".
+	// Network selects the transport: "tcp", "udp", "shm", or "hybrid".
 	Network string
 	// Rank and Ranks identify this process within the job.
 	Rank, Ranks int
@@ -59,11 +70,27 @@ type Config struct {
 	// ReadTimeout is the per-attempt rendezvous read-retry timeout over
 	// UDP (default 20ms, up to readAttempts tries).
 	ReadTimeout time.Duration
+	// Host names the machine this rank runs on, for hybrid locality
+	// routing (default os.Hostname()). Tests and -sim-hosts override it
+	// to simulate a multi-host topology on one machine.
+	Host string
+	// ShmDir is where shm segment files are created (default the system
+	// temp dir). Peers on the same host must see the same filesystem.
+	ShmDir string
+	// ShmRing is the per-sender ring data capacity in bytes (default
+	// 2 MiB — comfortably above the 1 MiB frame cap; min 64 KiB).
+	ShmRing int
+	// ShmArena is the shared rendezvous arena size in bytes (default
+	// 64 MiB, backed by a sparse file so untouched pages cost nothing;
+	// min 1 MiB).
+	ShmArena int
 }
 
 func (c *Config) fill() error {
-	if c.Network != "tcp" && c.Network != "udp" {
-		return fmt.Errorf("netfabric: network %q, want tcp or udp", c.Network)
+	switch c.Network {
+	case "tcp", "udp", "shm", "hybrid":
+	default:
+		return fmt.Errorf("netfabric: network %q, want tcp, udp, shm, or hybrid", c.Network)
 	}
 	if c.Ranks < 1 || c.Rank < 0 || c.Rank >= c.Ranks {
 		return fmt.Errorf("netfabric: rank %d of %d out of range", c.Rank, c.Ranks)
@@ -80,6 +107,21 @@ func (c *Config) fill() error {
 	if c.ReadTimeout <= 0 {
 		c.ReadTimeout = 20 * time.Millisecond
 	}
+	if c.ShmDir == "" {
+		c.ShmDir = os.TempDir()
+	}
+	if c.ShmRing <= 0 {
+		c.ShmRing = 2 << 20
+	}
+	if c.ShmRing < 64<<10 {
+		return fmt.Errorf("netfabric: shm ring %d bytes, min %d", c.ShmRing, 64<<10)
+	}
+	if c.ShmArena <= 0 {
+		c.ShmArena = 64 << 20
+	}
+	if c.ShmArena < 1<<20 {
+		return fmt.Errorf("netfabric: shm arena %d bytes, min %d", c.ShmArena, 1<<20)
+	}
 	return nil
 }
 
@@ -94,9 +136,23 @@ func New(cfg Config) (rdma.Transport, error) {
 	switch cfg.Network {
 	case "udp":
 		return newUDP(cfg)
+	case "shm":
+		return newShm(cfg)
+	case "hybrid":
+		return newHybrid(cfg)
 	default:
 		return newTCP(cfg)
 	}
+}
+
+// PendingReadCount reports the transport's in-flight outbound rendezvous
+// reads — a test hook for the pending-read leak assertions. Transports
+// not built by this package report 0.
+func PendingReadCount(tr rdma.Transport) int {
+	if c, ok := tr.(interface{ pendingReadCount() int }); ok {
+		return c.pendingReadCount()
+	}
+	return 0
 }
 
 // base is the transport state shared by TCP and UDP: identity, the
@@ -180,6 +236,15 @@ func (b *base) Deregister(mr *rdma.MemoryRegion) {
 	delete(b.mrs, mr.RKey)
 }
 
+// adoptRegion publishes a region registered elsewhere (the hybrid
+// transport's shm arena) under its existing rkey, so this transport's
+// READ RPC path can serve it too.
+func (b *base) adoptRegion(mr *rdma.MemoryRegion) {
+	b.mrMu.Lock()
+	defer b.mrMu.Unlock()
+	b.mrs[mr.RKey] = mr
+}
+
 // regionSlice resolves (rkey, offset, length) against the local table,
 // with the bounds discipline of rdma.Fabric.Read.
 func (b *base) regionSlice(rkey uint64, offset, length int) ([]byte, byte) {
@@ -223,6 +288,13 @@ func (b *base) dropPendingRead(id uint64) {
 	b.rdMu.Lock()
 	delete(b.reads, id)
 	b.rdMu.Unlock()
+}
+
+// pendingReadCount backs the PendingReadCount test hook.
+func (b *base) pendingReadCount() int {
+	b.rdMu.Lock()
+	defer b.rdMu.Unlock()
+	return len(b.reads)
 }
 
 // completeRead resolves a read response: it detaches the pending entry

@@ -18,6 +18,12 @@ import (
 // one per rank, created concurrently (New blocks on the rendezvous
 // barrier, so sequential creation would deadlock).
 func startNetWorlds(t *testing.T, network string, n int, opts mpi.Options, faults rdma.FaultPlan) []*mpi.World {
+	return startNetWorldsCfg(t, network, n, opts, faults, nil)
+}
+
+// startNetWorldsCfg is startNetWorlds with a per-rank Config hook (hybrid
+// tests use it to assign simulated hosts).
+func startNetWorldsCfg(t *testing.T, network string, n int, opts mpi.Options, faults rdma.FaultPlan, mod func(rank int, cfg *netfabric.Config)) []*mpi.World {
 	t.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -25,6 +31,10 @@ func startNetWorlds(t *testing.T, network string, n int, opts mpi.Options, fault
 	}
 	go netfabric.ServeCoordinator(ln, n)
 
+	shmDir := ""
+	if network == "shm" || network == "hybrid" {
+		shmDir = t.TempDir()
+	}
 	worlds := make([]*mpi.World, n)
 	errs := make([]error, n)
 	var wg sync.WaitGroup
@@ -32,10 +42,14 @@ func startNetWorlds(t *testing.T, network string, n int, opts mpi.Options, fault
 		wg.Add(1)
 		go func(k int) {
 			defer wg.Done()
-			tr, err := netfabric.New(netfabric.Config{
+			cfg := netfabric.Config{
 				Network: network, Rank: k, Ranks: n,
-				Coord: ln.Addr().String(), Faults: faults,
-			})
+				Coord: ln.Addr().String(), Faults: faults, ShmDir: shmDir,
+			}
+			if mod != nil {
+				mod(k, &cfg)
+			}
+			tr, err := netfabric.New(cfg)
 			if err != nil {
 				errs[k] = err
 				return
@@ -161,6 +175,167 @@ func TestUDPLossless(t *testing.T) {
 	ringWorkload(t, worlds, 10, 64)
 }
 
+// fabricCounters sums the named counter across every world's fabric sink.
+func fabricCounters(t *testing.T, worlds []*mpi.World, name string) uint64 {
+	t.Helper()
+	var total uint64
+	for _, w := range worlds {
+		for _, nd := range w.ObsSinks() {
+			if nd.Name == "fabric" {
+				total += nd.Sink.Counters.Snapshot()[name]
+			}
+		}
+	}
+	return total
+}
+
+func TestShmRingEagerAndRendezvous(t *testing.T) {
+	opts := mpi.Options{EagerLimit: 256}
+	worlds := startNetWorlds(t, "shm", 3, opts, rdma.FaultPlan{})
+	// Eager traffic through the rings, then rendezvous through the shared
+	// arena (8192 > EagerLimit: zero-round-trip arena reads, no READ RPC).
+	ringWorkload(t, worlds, 20, 64)
+	ringWorkload(t, worlds, 5, 8192)
+	if got := fabricCounters(t, worlds, "shm_tx_frames"); got == 0 {
+		t.Fatal("no frames staged into shm rings")
+	}
+	if got := fabricCounters(t, worlds, "shm_reads"); got == 0 {
+		t.Fatal("rendezvous traffic produced no zero-round-trip arena reads")
+	}
+	if got := fabricCounters(t, worlds, "net_read_reqs"); got != 0 {
+		t.Fatalf("pure shm world issued %d READ RPCs", got)
+	}
+}
+
+func TestShmOffloadEngine(t *testing.T) {
+	opts := mpi.Options{Engine: mpi.EngineOffload, EagerLimit: 256}
+	worlds := startNetWorlds(t, "shm", 2, opts, rdma.FaultPlan{})
+	ringWorkload(t, worlds, 10, 64)
+}
+
+func TestHybridTwoSimulatedHosts(t *testing.T) {
+	// Ranks 0,1 on hostA and 2,3 on hostB: the ring 0→1→2→3→0 then carries
+	// two same-host hops (shm) and two cross-host hops (TCP), so both legs
+	// and both rendezvous read paths are load-bearing.
+	opts := mpi.Options{EagerLimit: 256}
+	hosts := func(rank int, cfg *netfabric.Config) {
+		if rank < 2 {
+			cfg.Host = "hostA"
+		} else {
+			cfg.Host = "hostB"
+		}
+	}
+	worlds := startNetWorldsCfg(t, "hybrid", 4, opts, rdma.FaultPlan{}, hosts)
+	ringWorkload(t, worlds, 20, 64)
+	ringWorkload(t, worlds, 5, 8192)
+	if got := fabricCounters(t, worlds, "shm_tx_frames"); got == 0 {
+		t.Fatal("hybrid routed no same-host frames over shm")
+	}
+	if got := fabricCounters(t, worlds, "net_tx_frames"); got == 0 {
+		t.Fatal("hybrid routed no cross-host frames over TCP")
+	}
+	if got := fabricCounters(t, worlds, "shm_reads"); got == 0 {
+		t.Fatal("same-host rendezvous produced no arena reads")
+	}
+	if got := fabricCounters(t, worlds, "net_read_reqs"); got == 0 {
+		t.Fatal("cross-host rendezvous produced no READ RPCs")
+	}
+}
+
+func TestHybridSingleHost(t *testing.T) {
+	// Every rank on one host: hybrid must degenerate to pure shm routing
+	// (the TCP mesh stays up but carries no data).
+	opts := mpi.Options{EagerLimit: 256}
+	worlds := startNetWorldsCfg(t, "hybrid", 2, opts, rdma.FaultPlan{},
+		func(rank int, cfg *netfabric.Config) { cfg.Host = "onehost" })
+	ringWorkload(t, worlds, 10, 64)
+	ringWorkload(t, worlds, 2, 4096)
+	if got := fabricCounters(t, worlds, "net_tx_frames"); got != 0 {
+		t.Fatalf("single-host hybrid sent %d frames over TCP", got)
+	}
+	if got := fabricCounters(t, worlds, "shm_tx_frames"); got == 0 {
+		t.Fatal("single-host hybrid staged nothing over shm")
+	}
+}
+
+// TestChunkedTCPRendezvous pins the chunked READ path: rendezvous
+// payloads at the 1 MiB frame-cap boundary and well past it must arrive
+// byte-exact (each splits into pipelined sub-reads on the wire).
+func TestChunkedTCPRendezvous(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-MiB rendezvous transfers")
+	}
+	opts := mpi.Options{EagerLimit: 256}
+	worlds := startNetWorlds(t, "tcp", 2, opts, rdma.FaultPlan{})
+	for _, size := range []int{1<<20 - 1, 1<<20 + 1, 4 << 20} {
+		ringWorkload(t, worlds, 1, size)
+	}
+}
+
+// TestChunkedUDPRendezvous does the same over the datagram transport:
+// sizes just past maxUDPRead (60000) and at 1 MiB split into windowed
+// sub-reads, each with its own retry loop.
+func TestChunkedUDPRendezvous(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-chunk rendezvous transfers")
+	}
+	opts := mpi.Options{EagerLimit: 256}
+	worlds := startNetWorlds(t, "udp", 2, opts, rdma.FaultPlan{})
+	for _, size := range []int{60001, 1 << 20} {
+		ringWorkload(t, worlds, 1, size)
+	}
+}
+
+// TestUDPReadTimeoutDropsPending forces total-timeout failures (the peer
+// transport is never started, so requests land in its kernel buffer
+// unanswered) and asserts the pending-read table ends empty — the leak
+// the deferred drop exists to prevent, for single-chunk and chunked
+// reads alike.
+func TestUDPReadTimeoutDropsPending(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go netfabric.ServeCoordinator(ln, 2)
+	trs := make([]rdma.Transport, 2)
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for k := 0; k < 2; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			trs[k], errs[k] = netfabric.New(netfabric.Config{
+				Network: "udp", Rank: k, Ranks: 2,
+				Coord: ln.Addr().String(), ReadTimeout: time.Millisecond,
+			})
+		}(k)
+	}
+	wg.Wait()
+	ln.Close()
+	for k, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", k, err)
+		}
+	}
+	t.Cleanup(func() {
+		trs[0].Close()
+		trs[1].Close()
+	})
+	if err := trs[0].Start(rdma.NewRecvQueue(16), rdma.NewCQ()); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := trs[0].Read(1, make([]byte, 100), 7, 0, 100); err == nil {
+		t.Fatal("single-chunk read against a silent peer succeeded")
+	}
+	if err := trs[0].Read(1, make([]byte, 150_000), 7, 0, 150_000); err == nil {
+		t.Fatal("chunked read against a silent peer succeeded")
+	}
+	if got := netfabric.PendingReadCount(trs[0]); got != 0 {
+		t.Fatalf("%d pending-read entries leaked after forced timeouts", got)
+	}
+}
+
 func TestCoordinatorRejectsDuplicateRank(t *testing.T) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -198,6 +373,8 @@ func TestConfigValidation(t *testing.T) {
 		{Network: "tcp", Rank: -1, Ranks: 2, Coord: "x"},
 		{Network: "udp", Rank: 0, Ranks: 0, Coord: "x"},
 		{Network: "tcp", Rank: 0, Ranks: 2},
+		{Network: "shm", Rank: 0, Ranks: 2, Coord: "x", ShmRing: 1 << 10},
+		{Network: "hybrid", Rank: 0, Ranks: 2, Coord: "x", ShmArena: 1 << 10},
 	}
 	for i, cfg := range cases {
 		if _, err := netfabric.New(cfg); err == nil {

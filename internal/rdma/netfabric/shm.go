@@ -1,0 +1,673 @@
+package netfabric
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+	"unsafe"
+
+	"repro/internal/obs"
+	"repro/internal/rdma"
+)
+
+// The shm transport carries co-located ranks over mmap'd shared memory
+// instead of loopback sockets. Each rank owns one segment file:
+//
+//	header    | 4 KiB: magic, version, geometry — validated on attach
+//	rings     | n × (128 B control + ShmRing data): inbound SPSC ring j
+//	          |   is written by rank j's process and drained only by the
+//	          |   owner's poll goroutine (shmring.go)
+//	regions   | 1024 × 24 B slots {rkey, offset, length}: the published
+//	          |   rendezvous region table
+//	arena     | ShmArena bytes: rendezvous payload staging
+//
+// Sends stage an encoded frame (the TCP/UDP codec, frame.go) into the
+// destination's ring for this sender; the destination's poll goroutine
+// spins over its inbound rings with a bounded busy-poll and falls back to
+// timed sleeps when idle (the spin-then-park protocol — on a time-shared
+// core a hot spin would starve the very peer it is waiting for).
+//
+// RegisterMemory copies the rendezvous buffer into the owner's arena and
+// publishes {rkey, offset, length} in the region table, rkey last with a
+// release store. A peer's Read then resolves the rkey directly against
+// the owner's mapped segment and memcpys the bytes out — the READ RPC
+// round-trip disappears. Deregister unpublishes the rkey before freeing
+// the arena span, and re-checks after reading the geometry, so a torn
+// lookup can only miss (ErrBadKey), never read freed bytes as valid.
+type shmTransport struct {
+	base
+	cfg Config
+
+	seg      *shmSegment   // this rank's own segment
+	peerSegs []*shmSegment // peer segments by rank; nil = self or non-shm peer
+	peers    []*shmEndpoint
+	loop     *loopEndpoint
+
+	// mapMu guards the mappings against munmap: Send/Read hold it shared,
+	// Close takes it exclusively after the done channel stops new work.
+	mapMu sync.RWMutex
+
+	// Arena + region-table bookkeeping for this rank's own registrations.
+	regMu     sync.Mutex
+	arenaFree []arenaSpan
+	slotUsed  []bool
+	slotNext  int
+	regions   map[uint64]shmRegion
+	rkeys     atomic.Uint64
+
+	wg sync.WaitGroup
+}
+
+// shmRegion remembers where a registration landed. Heap regions are
+// oversize/overflow fallbacks that never hit the arena; pure-shm peers
+// cannot read them (hybrid falls back to the TCP READ RPC).
+type shmRegion struct {
+	slot, off, n int
+	heap         bool
+}
+
+type arenaSpan struct{ off, n int }
+
+const (
+	shmMagic        = 0x524550524f53484d // "REPROSHM"
+	shmVersion      = 1
+	shmHeaderBytes  = 4096
+	regionSlots     = 1024
+	regionSlotBytes = 24
+
+	// shmSpinBudget bounds the busy-poll phase (spinYield iterations) of
+	// both the poll loop and a full-ring sender before they fall back to
+	// timed sleeps.
+	shmSpinBudget = 512
+	// parkMin/parkMax bound the timed-sleep backoff once parked.
+	shmParkMin = 50 * time.Microsecond
+	shmParkMax = time.Millisecond
+	// shmArenaWait bounds how long RegisterMemory waits for arena space
+	// before falling back to a heap region.
+	shmArenaWait = 2 * time.Second
+)
+
+// spinYield is one iteration of the busy-poll phase: an in-process
+// Gosched first (this process's own engine goroutines share one P with
+// the poller and must keep running), then a kernel sched_yield so a peer
+// rank *process* time-sharing the core gets scheduled too. Gosched alone
+// returns immediately once this process has nothing else runnable and
+// would burn the whole kernel timeslice without ever letting the peer
+// run; the sched_yield hands the core over, and the caller resumes as
+// soon as the peer blocks or yields in turn — futex-like wakeup latency
+// without a futex.
+func spinYield(int) {
+	runtime.Gosched()
+	syscall.Syscall(syscall.SYS_SCHED_YIELD, 0, 0, 0)
+}
+
+// ---------------------------------------------------------------------------
+// Segment: create / attach / layout
+
+type shmSegment struct {
+	path                     string
+	mem                      []byte
+	owner                    bool
+	n, ringBytes, arenaBytes int
+}
+
+func shmSegmentSize(n, ringBytes, arenaBytes int) int {
+	return shmHeaderBytes + n*(ringCtrlBytes+ringBytes) + regionSlots*regionSlotBytes + arenaBytes
+}
+
+// createShmSegment builds and maps this rank's own segment file. The file
+// is sized with Truncate, so it is sparse: pages cost memory only once
+// touched.
+func createShmSegment(dir string, rank, n, ringBytes, arenaBytes int) (*shmSegment, error) {
+	f, err := os.CreateTemp(dir, fmt.Sprintf("repro-shm-r%d-*.seg", rank))
+	if err != nil {
+		return nil, fmt.Errorf("netfabric: create shm segment: %w", err)
+	}
+	path := f.Name()
+	size := shmSegmentSize(n, ringBytes, arenaBytes)
+	if err := f.Truncate(int64(size)); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, fmt.Errorf("netfabric: size shm segment: %w", err)
+	}
+	mem, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	f.Close() // the mapping keeps the pages; the fd is no longer needed
+	if err != nil {
+		os.Remove(path)
+		return nil, fmt.Errorf("netfabric: mmap shm segment: %w", err)
+	}
+	s := &shmSegment{path: path, mem: mem, owner: true, n: n, ringBytes: ringBytes, arenaBytes: arenaBytes}
+	hdr := [5]uint64{shmMagic, shmVersion, uint64(n), uint64(ringBytes), uint64(arenaBytes)}
+	for i, v := range hdr {
+		binary.LittleEndian.PutUint64(mem[i*8:], v)
+	}
+	return s, nil
+}
+
+// openShmSegment attaches to a peer's segment, validating the geometry
+// this rank expects against the header the owner wrote before
+// registering with the coordinator.
+func openShmSegment(path string, n, ringBytes, arenaBytes int) (*shmSegment, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, fmt.Errorf("netfabric: open peer shm segment: %w", err)
+	}
+	size := shmSegmentSize(n, ringBytes, arenaBytes)
+	st, err := f.Stat()
+	if err == nil && st.Size() != int64(size) {
+		err = fmt.Errorf("netfabric: peer shm segment %s is %d bytes, want %d", path, st.Size(), size)
+	}
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	mem, merr := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	f.Close()
+	if merr != nil {
+		return nil, fmt.Errorf("netfabric: mmap peer shm segment: %w", merr)
+	}
+	want := [5]uint64{shmMagic, shmVersion, uint64(n), uint64(ringBytes), uint64(arenaBytes)}
+	for i, w := range want {
+		if got := binary.LittleEndian.Uint64(mem[i*8:]); got != w {
+			syscall.Munmap(mem)
+			return nil, fmt.Errorf("netfabric: peer shm segment %s header[%d]=%#x, want %#x", path, i, got, w)
+		}
+	}
+	return &shmSegment{path: path, mem: mem, n: n, ringBytes: ringBytes, arenaBytes: arenaBytes}, nil
+}
+
+// ring returns the inbound ring written by sender (laid over this
+// segment's memory).
+func (s *shmSegment) ring(sender int) (*shmRing, error) {
+	off := shmHeaderBytes + sender*(ringCtrlBytes+s.ringBytes)
+	return ringAt(s.mem[off : off+ringCtrlBytes+s.ringBytes])
+}
+
+// regionSlot is one published rendezvous region: rkey, arena offset,
+// length, each a cross-process atomic.
+type regionSlot struct{ key, off, size *atomic.Uint64 }
+
+func (s *shmSegment) slot(i int) regionSlot {
+	base := shmHeaderBytes + s.n*(ringCtrlBytes+s.ringBytes) + i*regionSlotBytes
+	return regionSlot{
+		key:  (*atomic.Uint64)(unsafe.Pointer(&s.mem[base])),
+		off:  (*atomic.Uint64)(unsafe.Pointer(&s.mem[base+8])),
+		size: (*atomic.Uint64)(unsafe.Pointer(&s.mem[base+16])),
+	}
+}
+
+func (s *shmSegment) arena() []byte {
+	start := shmHeaderBytes + s.n*(ringCtrlBytes+s.ringBytes) + regionSlots*regionSlotBytes
+	return s.mem[start : start+s.arenaBytes]
+}
+
+// readRegion serves a zero-round-trip rendezvous read against this
+// segment's published region table: find the rkey, bounds-check, memcpy.
+// The rkey is re-checked after the geometry loads so a concurrent
+// deregister can only turn into ErrBadKey, never a stale-bytes success
+// presented as current.
+func (s *shmSegment) readRegion(dst []byte, rkey uint64, offset, length int) error {
+	if rkey == 0 {
+		return rdma.ErrBadKey
+	}
+	if offset < 0 || length < 0 {
+		return rdma.ErrBounds
+	}
+	arena := s.arena()
+	for i := 0; i < regionSlots; i++ {
+		sl := s.slot(i)
+		if sl.key.Load() != rkey {
+			continue
+		}
+		roff, rlen := sl.off.Load(), sl.size.Load()
+		if sl.key.Load() != rkey {
+			return rdma.ErrBadKey // deregistered mid-lookup
+		}
+		if uint64(offset)+uint64(length) > rlen {
+			return rdma.ErrBounds
+		}
+		start := roff + uint64(offset)
+		if start+uint64(length) > uint64(len(arena)) {
+			return rdma.ErrBounds
+		}
+		copy(dst, arena[start:start+uint64(length)])
+		return nil
+	}
+	return rdma.ErrBadKey
+}
+
+func (s *shmSegment) close() {
+	syscall.Munmap(s.mem)
+	s.mem = nil
+	if s.owner {
+		os.Remove(s.path)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Transport
+
+// newShm builds the pure shared-memory transport: create own segment,
+// rendezvous segment paths through the coordinator, attach every peer.
+func newShm(cfg Config) (rdma.Transport, error) {
+	seg, err := createShmSegment(cfg.ShmDir, cfg.Rank, cfg.Ranks, cfg.ShmRing, cfg.ShmArena)
+	if err != nil {
+		return nil, err
+	}
+	book, err := registerHello(cfg.Coord, coordHello{
+		Rank: cfg.Rank, Ranks: cfg.Ranks, Addr: seg.path, Shm: seg.path,
+	})
+	if err != nil {
+		seg.close()
+		return nil, err
+	}
+	return newShmFrom(cfg, seg, book.Shms, nil)
+}
+
+// newShmFrom assembles the transport around an already-registered own
+// segment. mask, when non-nil, limits which peers are attached over shm
+// (the hybrid transport passes its same-host map).
+func newShmFrom(cfg Config, seg *shmSegment, paths []string, mask []bool) (*shmTransport, error) {
+	t := &shmTransport{
+		base:      newBase(cfg),
+		cfg:       cfg,
+		seg:       seg,
+		peerSegs:  make([]*shmSegment, cfg.Ranks),
+		peers:     make([]*shmEndpoint, cfg.Ranks),
+		arenaFree: []arenaSpan{{0, cfg.ShmArena}},
+		slotUsed:  make([]bool, regionSlots),
+		regions:   make(map[uint64]shmRegion),
+	}
+	fail := func(err error) (*shmTransport, error) {
+		for _, ps := range t.peerSegs {
+			if ps != nil {
+				ps.close()
+			}
+		}
+		seg.close()
+		return nil, err
+	}
+	if len(paths) != cfg.Ranks {
+		return fail(fmt.Errorf("netfabric: shm book has %d segments, want %d", len(paths), cfg.Ranks))
+	}
+	for j, path := range paths {
+		if j == cfg.Rank || (mask != nil && !mask[j]) {
+			continue
+		}
+		if path == "" {
+			return fail(fmt.Errorf("netfabric: rank %d announced no shm segment", j))
+		}
+		ps, err := openShmSegment(path, cfg.Ranks, cfg.ShmRing, cfg.ShmArena)
+		if err != nil {
+			return fail(err)
+		}
+		t.peerSegs[j] = ps
+		ring, err := ps.ring(cfg.Rank)
+		if err != nil {
+			return fail(err)
+		}
+		t.peers[j] = &shmEndpoint{t: t, peer: j, ring: ring}
+	}
+	t.loop = newLoopback(&t.base, true, cfg.SendQueue)
+	return t, nil
+}
+
+func (t *shmTransport) Reliable() bool { return true }
+
+func (t *shmTransport) Start(rq *rdma.RecvQueue, cq *rdma.CQ) error {
+	t.rq, t.cq = rq, cq
+	t.wg.Add(2)
+	go func() { defer t.wg.Done(); t.loop.run() }()
+	go func() { defer t.wg.Done(); t.poll() }()
+	return nil
+}
+
+func (t *shmTransport) Endpoint(peer int) rdma.Endpoint {
+	if peer == t.rank {
+		return t.loop
+	}
+	if peer < 0 || peer >= t.n || t.peers[peer] == nil {
+		return nil
+	}
+	return t.peers[peer]
+}
+
+// poll is the consumer side: it drains every inbound ring of this rank's
+// own segment, spinning while work arrives and parking (timed sleeps with
+// doubling backoff) when all rings stay empty past the spin budget.
+func (t *shmTransport) poll() {
+	scratch := make([]byte, t.cfg.ShmRing)
+	var rings []*shmRing
+	for j := 0; j < t.n; j++ {
+		if j == t.rank || t.peers[j] == nil {
+			continue
+		}
+		r, err := t.seg.ring(j)
+		if err != nil {
+			return // geometry was validated at construction; unreachable
+		}
+		rings = append(rings, r)
+	}
+	idle, parked := 0, false
+	sleep := shmParkMin
+	for {
+		progress := false
+		for _, r := range rings {
+			for {
+				rec, ok, err := r.tryRead(scratch)
+				if err != nil || !ok {
+					break // torn records are unreachable with well-behaved peers
+				}
+				progress = true
+				f, _, derr := decodeFrame(rec)
+				if derr != nil || f.kind != frData {
+					continue
+				}
+				t.sink.Counters.Inc(obs.CtrShmRxFrames)
+				t.sink.Counters.Add(obs.CtrShmRxBytes, uint64(len(f.payload)))
+				if !t.deliverBytes(f.payload) {
+					return
+				}
+			}
+		}
+		if progress {
+			if idle > 0 && !parked {
+				t.sink.Counters.Inc(obs.CtrShmSpinWakes)
+			}
+			idle, parked, sleep = 0, false, shmParkMin
+			continue
+		}
+		select {
+		case <-t.done:
+			return
+		default:
+		}
+		idle++
+		if idle <= shmSpinBudget {
+			spinYield(idle)
+			continue
+		}
+		if !parked {
+			parked = true
+			t.sink.Counters.Inc(obs.CtrShmParks)
+		}
+		time.Sleep(sleep)
+		if sleep < shmParkMax {
+			sleep *= 2
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Rendezvous: arena registration and zero-round-trip reads
+
+// RegisterMemory copies buf into this rank's shared arena and publishes
+// it in the segment's region table, shadowing base.RegisterMemory. The
+// copy is safe because rendezvous buffers are stable between Isend's
+// registration and the completing ACK; returning the arena slice as
+// mr.Buf keeps the MPI layer's len(mr.Buf) accounting exact. Oversize
+// buffers (or a full arena after shmArenaWait) fall back to a plain heap
+// region — the hybrid transport serves those over the TCP READ RPC.
+func (t *shmTransport) RegisterMemory(buf []byte) *rdma.MemoryRegion {
+	rkey := t.rkeys.Add(1)
+	n := len(buf)
+	off, slot, ok := t.reserve(n)
+	if !ok {
+		t.regMu.Lock()
+		t.regions[rkey] = shmRegion{heap: true}
+		t.regMu.Unlock()
+		return &rdma.MemoryRegion{Buf: buf, RKey: rkey}
+	}
+	arena := t.seg.arena()
+	copy(arena[off:off+n], buf)
+	sl := t.seg.slot(slot)
+	sl.off.Store(uint64(off))
+	sl.size.Store(uint64(n))
+	sl.key.Store(rkey) // release: publish last, so readers see full geometry
+	t.regMu.Lock()
+	t.regions[rkey] = shmRegion{slot: slot, off: off, n: n}
+	t.regMu.Unlock()
+	return &rdma.MemoryRegion{Buf: arena[off : off+n : off+n], RKey: rkey}
+}
+
+// reserve carves n bytes from the arena and claims a region slot,
+// waiting (in 1ms ticks, bounded by shmArenaWait) for space held by
+// in-flight rendezvous to free up.
+func (t *shmTransport) reserve(n int) (off, slot int, ok bool) {
+	if n > t.cfg.ShmArena {
+		return 0, 0, false
+	}
+	deadline := time.Now().Add(shmArenaWait)
+	for {
+		t.regMu.Lock()
+		if off, ok = t.arenaAlloc(n); ok {
+			if slot, ok = t.takeSlot(); ok {
+				t.regMu.Unlock()
+				return off, slot, true
+			}
+			t.arenaRelease(off, n)
+		}
+		t.regMu.Unlock()
+		select {
+		case <-t.done:
+			return 0, 0, false
+		default:
+		}
+		if time.Now().After(deadline) {
+			return 0, 0, false
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// arenaAlloc is a first-fit allocator over the sorted free-span list.
+// Spans are 8-byte aligned so arena slices inherit usable alignment.
+// Callers hold regMu.
+func (t *shmTransport) arenaAlloc(n int) (int, bool) {
+	need := (n + 7) &^ 7
+	if need == 0 {
+		need = 8
+	}
+	for i, sp := range t.arenaFree {
+		if sp.n < need {
+			continue
+		}
+		off := sp.off
+		if sp.n == need {
+			t.arenaFree = append(t.arenaFree[:i], t.arenaFree[i+1:]...)
+		} else {
+			t.arenaFree[i] = arenaSpan{sp.off + need, sp.n - need}
+		}
+		return off, true
+	}
+	return 0, false
+}
+
+// arenaRelease returns a span, coalescing with neighbors. Callers hold
+// regMu and pass the original length (alignment is re-applied here).
+func (t *shmTransport) arenaRelease(off, n int) {
+	need := (n + 7) &^ 7
+	if need == 0 {
+		need = 8
+	}
+	i := 0
+	for i < len(t.arenaFree) && t.arenaFree[i].off < off {
+		i++
+	}
+	t.arenaFree = append(t.arenaFree, arenaSpan{})
+	copy(t.arenaFree[i+1:], t.arenaFree[i:])
+	t.arenaFree[i] = arenaSpan{off, need}
+	if i+1 < len(t.arenaFree) && off+need == t.arenaFree[i+1].off {
+		t.arenaFree[i].n += t.arenaFree[i+1].n
+		t.arenaFree = append(t.arenaFree[:i+1], t.arenaFree[i+2:]...)
+	}
+	if i > 0 && t.arenaFree[i-1].off+t.arenaFree[i-1].n == off {
+		t.arenaFree[i-1].n += t.arenaFree[i].n
+		t.arenaFree = append(t.arenaFree[:i], t.arenaFree[i+1:]...)
+	}
+}
+
+// takeSlot claims a free region-table slot. Callers hold regMu.
+func (t *shmTransport) takeSlot() (int, bool) {
+	for i := 0; i < regionSlots; i++ {
+		s := (t.slotNext + i) % regionSlots
+		if !t.slotUsed[s] {
+			t.slotUsed[s] = true
+			t.slotNext = s + 1
+			return s, true
+		}
+	}
+	return 0, false
+}
+
+// Deregister unpublishes the rkey first (peers immediately see ErrBadKey)
+// and only then frees the arena span for reuse.
+func (t *shmTransport) Deregister(mr *rdma.MemoryRegion) {
+	t.regMu.Lock()
+	reg, ok := t.regions[mr.RKey]
+	delete(t.regions, mr.RKey)
+	t.regMu.Unlock()
+	if !ok || reg.heap {
+		return
+	}
+	t.seg.slot(reg.slot).key.Store(0)
+	t.regMu.Lock()
+	t.arenaRelease(reg.off, reg.n)
+	t.slotUsed[reg.slot] = false
+	t.regMu.Unlock()
+}
+
+// Read resolves (owner, rkey) directly against the owner's mapped
+// segment — same host, so the "remote" arena is plain addressable memory
+// and the whole rendezvous READ is one bounds-checked memcpy.
+func (t *shmTransport) Read(owner int, dst []byte, rkey uint64, offset, length int) error {
+	if length != len(dst) {
+		return rdma.ErrBounds
+	}
+	if owner < 0 || owner >= t.n {
+		return rdma.ErrBadKey
+	}
+	t.mapMu.RLock()
+	defer t.mapMu.RUnlock()
+	select {
+	case <-t.done:
+		return rdma.ErrClosed
+	default:
+	}
+	seg := t.seg
+	if owner != t.rank {
+		seg = t.peerSegs[owner]
+	}
+	if seg == nil {
+		return rdma.ErrBadKey
+	}
+	if err := seg.readRegion(dst, rkey, offset, length); err != nil {
+		return err
+	}
+	t.sink.Counters.Inc(obs.CtrShmReads)
+	return nil
+}
+
+func (t *shmTransport) Close() error {
+	if !t.markClosed() {
+		return nil
+	}
+	t.wg.Wait()
+	t.mapMu.Lock()
+	defer t.mapMu.Unlock()
+	for _, ps := range t.peerSegs {
+		if ps != nil {
+			ps.close()
+		}
+	}
+	t.seg.close()
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Endpoint: the producer side of one peer's inbound ring
+
+type shmEndpoint struct {
+	t    *shmTransport
+	peer int
+	ring *shmRing
+
+	// mu serializes this rank's senders onto the SPSC ring (the ring's
+	// single-producer contract is per process, not per goroutine).
+	mu sync.Mutex
+}
+
+func (ep *shmEndpoint) Send(data []byte, imm uint32, wrID uint64) error {
+	return ep.send(data, false)
+}
+
+// SendControl must not block: on a full ring it reports ErrNoReceive
+// instead of entering the spin-park wait.
+func (ep *shmEndpoint) SendControl(data []byte, imm uint32, wrID uint64) error {
+	return ep.send(data, true)
+}
+
+func (ep *shmEndpoint) send(data []byte, control bool) error {
+	t := ep.t
+	size := frameSize(t.rank, len(data))
+	if !ep.ring.fits(size) {
+		return fmt.Errorf("netfabric: %d-byte frame exceeds shm ring capacity", size)
+	}
+	buf := appendFrame(t.frameBuf(size), frData, t.rank, data)
+	defer t.frameRecycle(buf)
+
+	t.mapMu.RLock()
+	defer t.mapMu.RUnlock()
+	select {
+	case <-t.done:
+		return rdma.ErrClosed
+	default:
+	}
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if ep.ring.tryWrite(buf) {
+		t.noteTx(len(buf))
+		return nil
+	}
+	if control {
+		return rdma.ErrNoReceive
+	}
+	// Ring full: the consumer is behind. Spin briefly, then park — the
+	// same adaptive wait the poll loop uses, because on a shared core the
+	// consumer needs this core to drain the ring.
+	t.sink.Counters.Inc(obs.CtrShmRingFull)
+	spins := 0
+	sleep := shmParkMin
+	for {
+		select {
+		case <-t.done:
+			return rdma.ErrClosed
+		default:
+		}
+		if ep.ring.tryWrite(buf) {
+			t.noteTx(len(buf))
+			return nil
+		}
+		if spins < shmSpinBudget {
+			spins++
+			spinYield(spins)
+			continue
+		}
+		time.Sleep(sleep)
+		if sleep < shmParkMax {
+			sleep *= 2
+		}
+	}
+}
+
+func (t *shmTransport) noteTx(encoded int) {
+	t.sink.Counters.Inc(obs.CtrShmTxFrames)
+	t.sink.Counters.Add(obs.CtrShmTxBytes, uint64(encoded))
+}
+
+func (ep *shmEndpoint) Close() {}

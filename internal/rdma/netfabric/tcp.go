@@ -114,6 +114,14 @@ func newTCP(cfg Config) (rdma.Transport, error) {
 		ln.Close()
 		return nil, err
 	}
+	return newTCPFrom(cfg, ln, addrs), nil
+}
+
+// newTCPFrom assembles the transport around an already-bound listener and
+// an already-exchanged address book — the hybrid transport registers with
+// the coordinator once (carrying host and shm info alongside the TCP
+// address) and builds its TCP leg through here.
+func newTCPFrom(cfg Config, ln net.Listener, addrs []string) *tcpTransport {
 	t := &tcpTransport{base: newBase(cfg), cfg: cfg, ln: ln, addrs: addrs}
 	// Peer structs (and their send queues) exist from construction so
 	// endpoints can be handed out before Start meshes the connections;
@@ -126,7 +134,7 @@ func newTCP(cfg Config) (rdma.Transport, error) {
 		t.peers[j] = &tcpPeer{t: t, rank: j, sendq: make(chan []byte, cfg.SendQueue)}
 	}
 	t.loop = newLoopback(&t.base, true, cfg.SendQueue)
-	return t, nil
+	return t
 }
 
 func (t *tcpTransport) Reliable() bool { return true }
@@ -434,10 +442,17 @@ func (p *tcpPeer) SendControl(data []byte, imm uint32, wrID uint64) error {
 // Close of one endpoint is a no-op; links die with the transport.
 func (p *tcpPeer) Close() {}
 
+// maxTCPReadChunk bounds one rendezvous sub-read so its frReadResp frame
+// (payload plus reqID/status framing) stays under the frame cap.
+const maxTCPReadChunk = maxFramePayload - 64
+
 // Read satisfies a rendezvous read: owner-local regions copy directly,
-// remote ones round-trip a frReadReq. The stream is reliable, so one
-// request suffices and the only failure modes are the owner's verdict or
-// transport shutdown.
+// remote ones round-trip frReadReq exchanges. Requests larger than the
+// frame cap are split into pipelined sub-reads — every chunk's request is
+// staged before the first response is awaited, so a large read costs one
+// round-trip plus streaming, not a round-trip per chunk. The stream is
+// reliable, so each request is sent once and the only failure modes are
+// the owner's verdict or transport shutdown.
 func (t *tcpTransport) Read(owner int, dst []byte, rkey uint64, offset, length int) error {
 	if length != len(dst) {
 		return rdma.ErrBounds
@@ -448,18 +463,40 @@ func (t *tcpTransport) Read(owner int, dst []byte, rkey uint64, offset, length i
 	if owner < 0 || owner >= t.n {
 		return rdma.ErrBadKey
 	}
-	id, pr := t.newPendingRead(dst)
-	req := appendReadReq(t.frameBuf(32), id, rkey, offset, length)
-	t.sink.Counters.Inc(obs.CtrNetReadReqs)
-	t.peers[owner].enqueueFrame(frReadReq, req)
-	t.frameRecycle(req)
-	select {
-	case err := <-pr.done:
-		return err
-	case <-t.done:
-		t.dropPendingRead(id)
-		return rdma.ErrClosed
+	p := t.peers[owner]
+	type chunk struct {
+		id uint64
+		pr *pendingRead
 	}
+	var chunks []chunk
+	for off := 0; ; {
+		n := min(length-off, maxTCPReadChunk)
+		id, pr := t.newPendingRead(dst[off : off+n])
+		req := appendReadReq(t.frameBuf(40), id, rkey, offset+off, n)
+		t.sink.Counters.Inc(obs.CtrNetReadReqs)
+		p.enqueueFrame(frReadReq, req)
+		t.frameRecycle(req)
+		chunks = append(chunks, chunk{id, pr})
+		off += n
+		if off >= length {
+			break
+		}
+	}
+	var firstErr error
+	for _, c := range chunks {
+		select {
+		case err := <-c.pr.done:
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		case <-t.done:
+			t.dropPendingRead(c.id)
+			if firstErr == nil {
+				firstErr = rdma.ErrClosed
+			}
+		}
+	}
+	return firstErr
 }
 
 // Close tears the mesh down in two phases: writers drain and exit first

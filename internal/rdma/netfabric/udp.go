@@ -11,10 +11,15 @@ import (
 )
 
 // maxUDPRead bounds how much registered-region data one frReadResp
-// datagram may carry. The rendezvous read loop requests the whole region
-// in one shot, so this caps rendezvous payloads over UDP; a larger region
-// answers readTooLarge and the caller surfaces rdma.ErrBufferSize.
+// datagram may carry. Reads larger than this are split into sub-reads of
+// at most maxUDPRead bytes (udpReadWindow in flight at a time), so the
+// cap sizes datagrams without capping rendezvous payloads.
 const maxUDPRead = 60000
+
+// udpReadWindow is how many sub-reads of one chunked rendezvous read may
+// be in flight concurrently — enough to pipeline the retry latency,
+// small enough not to burst-drop on a lossy link.
+const udpReadWindow = 4
 
 // readAttempts is how many times an unanswered frReadReq is re-sent
 // before the read fails. Requests are idempotent, so retries are safe.
@@ -119,10 +124,12 @@ func (t *udpTransport) reader() {
 	}
 }
 
-// Read round-trips a frReadReq with timeout-driven retries: requests and
-// responses are both droppable, and the request is idempotent, so the
-// loop re-sends until a verdict arrives. Each retry is tallied on
-// CtrNetReadRetries.
+// Read satisfies a rendezvous read over the lossy link. Requests larger
+// than one datagram's budget are split into sub-reads of maxUDPRead
+// bytes, up to udpReadWindow in flight concurrently; each sub-read
+// round-trips its own idempotent frReadReq with timeout-driven retries.
+// Every failure path — timeout exhaustion included — drops its pending
+// entry, so abandoned reads never leak table space.
 func (t *udpTransport) Read(owner int, dst []byte, rkey uint64, offset, length int) error {
 	if length != len(dst) {
 		return rdma.ErrBounds
@@ -134,6 +141,49 @@ func (t *udpTransport) Read(owner int, dst []byte, rkey uint64, offset, length i
 		return rdma.ErrBadKey
 	}
 	ep := t.peers[owner]
+	if length <= maxUDPRead {
+		return t.readChunk(ep, owner, dst, rkey, offset, length)
+	}
+	var (
+		sem      = make(chan struct{}, udpReadWindow)
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	for off := 0; off < length; off += maxUDPRead {
+		n := min(length-off, maxUDPRead)
+		sem <- struct{}{}
+		errMu.Lock()
+		failed := firstErr != nil
+		errMu.Unlock()
+		if failed {
+			<-sem
+			break
+		}
+		wg.Add(1)
+		go func(off, n int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := t.readChunk(ep, owner, dst[off:off+n], rkey, offset+off, n); err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+			}
+		}(off, n)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// readChunk round-trips one sub-read with timeout-driven retries:
+// requests and responses are both droppable, and the request is
+// idempotent, so the loop re-sends until a verdict arrives. Each retry
+// is tallied on CtrNetReadRetries. The deferred drop guarantees the
+// pending-read table entry dies with the call on every path, including
+// timeout exhaustion.
+func (t *udpTransport) readChunk(ep *udpEndpoint, owner int, dst []byte, rkey uint64, offset, length int) error {
 	id, pr := t.newPendingRead(dst)
 	defer t.dropPendingRead(id)
 	req := appendReadReq(t.frameBuf(32), id, rkey, offset, length)

@@ -61,6 +61,10 @@ func replayNet(t *testing.T, tr *trace.Trace, network string, cfg replay.Config,
 		t.Fatalf("coordinator listen: %v", err)
 	}
 	go netfabric.ServeCoordinator(ln, n)
+	shmDir := ""
+	if network == "shm" || network == "hybrid" {
+		shmDir = t.TempDir()
+	}
 
 	results := make([]*replay.Result, n)
 	errs := make([]error, n)
@@ -69,10 +73,16 @@ func replayNet(t *testing.T, tr *trace.Trace, network string, cfg replay.Config,
 		wg.Add(1)
 		go func(k int) {
 			defer wg.Done()
-			trans, err := netfabric.New(netfabric.Config{
+			ncfg := netfabric.Config{
 				Network: network, Rank: k, Ranks: n,
-				Coord: ln.Addr().String(), Faults: faults,
-			})
+				Coord: ln.Addr().String(), Faults: faults, ShmDir: shmDir,
+			}
+			if network == "hybrid" {
+				// Two simulated hosts: even ranks on one, odd on the
+				// other, so the hybrid router exercises both legs.
+				ncfg.Host = fmt.Sprintf("h%d", k%2)
+			}
+			trans, err := netfabric.New(ncfg)
 			if err != nil {
 				errs[k] = err
 				return
@@ -104,11 +114,12 @@ func replayNet(t *testing.T, tr *trace.Trace, network string, cfg replay.Config,
 }
 
 // TestGoldenCrossTransportEquivalence replays a fixed deterministic trace
-// over the in-process fabric, TCP sockets, and UDP sockets under a 5%-drop
-// fault plan, across engines and in-flight block depths, and requires the
-// matched results to be identical everywhere. The UDP legs must also show
-// the repair sublayer actually working (retransmissions happened and the
-// result still matched the golden baseline).
+// over the in-process fabric, TCP sockets, UDP sockets under a 5%-drop
+// fault plan, shared-memory rings, and the hybrid shm/TCP router (two
+// simulated hosts), across engines and in-flight block depths, and
+// requires the matched results to be identical everywhere. The UDP legs
+// must also show the repair sublayer actually working (retransmissions
+// happened and the result still matched the golden baseline).
 func TestGoldenCrossTransportEquivalence(t *testing.T) {
 	app, ok := tracegen.ByName("AMG")
 	if !ok {
@@ -151,6 +162,16 @@ func TestGoldenCrossTransportEquivalence(t *testing.T) {
 			tcp, _ := replayNet(t, tr, "tcp", cfg, rdma.FaultPlan{})
 			if tcp != golden {
 				t.Errorf("tcp diverged: got %+v, want %+v", tcp, golden)
+			}
+
+			shm, _ := replayNet(t, tr, "shm", cfg, rdma.FaultPlan{})
+			if shm != golden {
+				t.Errorf("shm diverged: got %+v, want %+v", shm, golden)
+			}
+
+			hybrid, _ := replayNet(t, tr, "hybrid", cfg, rdma.FaultPlan{})
+			if hybrid != golden {
+				t.Errorf("hybrid diverged: got %+v, want %+v", hybrid, golden)
 			}
 
 			udp, rel := replayNet(t, tr, "udp", cfg, plan)
