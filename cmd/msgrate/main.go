@@ -22,15 +22,52 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/daemon"
 	"repro/internal/dpa"
 	"repro/internal/mpi"
 	"repro/internal/obs"
 	"repro/internal/rdma"
 	"repro/internal/rdma/netfabric"
 )
+
+// runViaDaemon submits one ring job to a matchd instance and waits for
+// its terminal status, printing a result row in the local-run format.
+func runViaDaemon(addr, tenant, engine, transport string, ranks, k, reps, payload, threads, bins, inflight int) error {
+	if transport == "udp" {
+		return fmt.Errorf("-daemon hosts reliable transports only (inproc, tcp, shm, hybrid)")
+	}
+	if ranks == 0 {
+		ranks = 2
+	}
+	c, err := daemon.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	st, err := c.Submit(daemon.JobSpec{
+		Tenant: tenant, Workload: "ring", Engine: engine, Transport: transport,
+		Ranks: ranks, K: k, Reps: reps, PayloadBytes: payload,
+		Threads: threads, Bins: bins, InFlight: inflight,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("submitted %s to %s (tenant %s)\n", st.ID, addr, tenant)
+	st, err = c.Wait(st.ID, 10*time.Minute)
+	if err != nil {
+		return err
+	}
+	if st.State != "done" {
+		return fmt.Errorf("job %s ended %s: %s", st.ID, st.State, st.Error)
+	}
+	fmt.Printf("%-22s %12.0f msg/s  (%d ranks, %d msgs, matched %d)\n",
+		"ring-"+transport+"-daemon", st.MsgPerSec, st.Ranks, st.Messages, st.Matched)
+	return nil
+}
 
 // writeProfile dumps a named runtime profile (mutex, block) to path.
 func writeProfile(name, path string) {
@@ -70,8 +107,20 @@ func main() {
 		rank          = flag.Int("rank", -1, "this process's rank (set by the launcher; -1 = launch all ranks)")
 		coord         = flag.String("coord", "", "coordinator address for rank/address exchange (set by the launcher)")
 		engine        = flag.String("engine", "host", "ring-mode matching engine: host | offload | raw")
+		daemonAddr    = flag.String("daemon", "", "submit the ring run to a matchd control address instead of running locally")
+		tenantName    = flag.String("tenant", "msgrate", "tenant name for -daemon submissions")
 	)
 	flag.Parse()
+
+	// Daemon mode: hand the ring workload to a running matchd and wait.
+	if *daemonAddr != "" {
+		if err := runViaDaemon(*daemonAddr, *tenantName, *engine, *transport,
+			*ranks, *k, *reps, *payload, *threads, *bins, *inflight); err != nil {
+			fmt.Fprintf(os.Stderr, "msgrate: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	engines := map[string]mpi.EngineKind{
 		"host": mpi.EngineHost, "offload": mpi.EngineOffload, "raw": mpi.EngineRaw,

@@ -7,7 +7,12 @@
 //
 // With -bench it instead validates a msgrate -bench-json results document
 // against the repro/msgrate-bench/v1 schema; with -plan, a whatif
-// recommendation document against the repro/plan/v1 schema.
+// recommendation document against the repro/plan/v1 schema; with -metrics,
+// an OpenMetrics text exposition (a matchd /metrics scrape — the argument
+// may be a file or an http:// URL): every sample must belong to a declared
+// family, counter samples must end in _total, histogram buckets must
+// cumulate to a le="+Inf" bucket equal to the _count sample, and the
+// document must terminate with # EOF.
 //
 // Usage:
 //
@@ -15,6 +20,8 @@
 //	obscheck -min-events 10 trace.json
 //	obscheck -bench BENCH_msgrate.json
 //	obscheck -plan plan.json
+//	obscheck -metrics http://127.0.0.1:7601/metrics
+//	obscheck -metrics metrics.txt
 package main
 
 import (
@@ -54,12 +61,20 @@ func main() {
 	minEvents := flag.Int("min-events", 1, "fail unless the trace holds at least this many non-metadata events")
 	benchMode := flag.Bool("bench", false, "validate a msgrate -bench-json document instead of a Chrome trace")
 	planMode := flag.Bool("plan", false, "validate a whatif recommendation document instead of a Chrome trace")
+	metricsMode := flag.Bool("metrics", false, "validate an OpenMetrics text exposition (file or http:// URL) instead of a Chrome trace")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: obscheck [-min-events N] trace.json | obscheck -bench bench.json | obscheck -plan plan.json")
+		fmt.Fprintln(os.Stderr, "usage: obscheck [-min-events N] trace.json | obscheck -bench bench.json | obscheck -plan plan.json | obscheck -metrics URL-or-file")
 		os.Exit(2)
 	}
 	path := flag.Arg(0)
+
+	if *metricsMode {
+		if err := checkMetrics(path); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *planMode {
 		doc, err := plan.ReadDoc(path)

@@ -1,0 +1,276 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// checkMetrics validates an OpenMetrics text exposition: the invariants a
+// Prometheus scraper relies on, checked structurally so CI can gate a live
+// matchd /metrics endpoint without a scraper.
+func checkMetrics(src string) error {
+	r, err := openMetrics(src)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+
+	// Per-family state, keyed by the declared (TYPE) family name.
+	types := map[string]string{}
+	samples := map[string]int{} // family → sample count
+	// Histogram bookkeeping: cumulative bucket progression and the
+	// _count/_sum/+Inf cross-checks, keyed by family + label set (minus le).
+	lastBucket := map[string]float64{}
+	infBucket := map[string]float64{}
+	counts := map[string]float64{}
+	sums := map[string]bool{}
+
+	sawEOF := false
+	lines := 0
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 16<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		lines++
+		where := func(msg string, args ...any) error {
+			return fmt.Errorf("%s:%d: %s (line %q)", src, lines, fmt.Sprintf(msg, args...), line)
+		}
+		if sawEOF && strings.TrimSpace(line) != "" {
+			return where("content after # EOF")
+		}
+		switch {
+		case line == "# EOF":
+			sawEOF = true
+			continue
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				return where("malformed TYPE comment")
+			}
+			name, typ := fields[2], fields[3]
+			if typ != "counter" && typ != "gauge" && typ != "histogram" {
+				return where("unknown metric type %q", typ)
+			}
+			if _, dup := types[name]; dup {
+				return where("family %s declared twice", name)
+			}
+			types[name] = typ
+			continue
+		case strings.HasPrefix(line, "#"):
+			continue // HELP or other comments: ignored
+		case strings.TrimSpace(line) == "":
+			continue
+		}
+
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return where("%v", err)
+		}
+		family, suffix := familyOf(name, types)
+		if family == "" {
+			return where("sample %s has no declared family", name)
+		}
+		samples[family]++
+		switch types[family] {
+		case "counter":
+			if suffix != "_total" {
+				return where("counter sample %s must end in _total", name)
+			}
+			if value < 0 {
+				return where("counter %s is negative", name)
+			}
+		case "gauge":
+			if suffix != "" {
+				return where("gauge sample %s must equal its family name", name)
+			}
+		case "histogram":
+			series := family + "{" + stripLE(labels) + "}"
+			switch suffix {
+			case "_bucket":
+				le, ok := labelValue(labels, "le")
+				if !ok {
+					return where("histogram bucket without le label")
+				}
+				if le == "+Inf" {
+					infBucket[series] = value
+				} else {
+					if _, err := strconv.ParseFloat(le, 64); err != nil {
+						return where("unparseable le %q", le)
+					}
+					if value < lastBucket[series] {
+						return where("bucket le=%s of %s is not cumulative (%g < %g)",
+							le, family, value, lastBucket[series])
+					}
+					lastBucket[series] = value
+				}
+			case "_count":
+				counts[series] = value
+			case "_sum":
+				sums[series] = true
+			default:
+				return where("histogram sample %s must end in _bucket, _sum, or _count", name)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("%s: %v", src, err)
+	}
+	if !sawEOF {
+		return fmt.Errorf("%s: missing # EOF terminator", src)
+	}
+
+	// Cross-checks: every histogram series needs a +Inf bucket equal to
+	// its _count, its last finite bucket must not exceed _count, and a
+	// _sum must exist.
+	series := make([]string, 0, len(counts))
+	for s := range counts {
+		series = append(series, s)
+	}
+	sort.Strings(series)
+	for _, s := range series {
+		inf, ok := infBucket[s]
+		if !ok {
+			return fmt.Errorf("%s: histogram %s has no le=\"+Inf\" bucket", src, s)
+		}
+		if inf != counts[s] {
+			return fmt.Errorf("%s: histogram %s +Inf bucket %g != count %g", src, s, inf, counts[s])
+		}
+		if lastBucket[s] > counts[s] {
+			return fmt.Errorf("%s: histogram %s buckets exceed count", src, s)
+		}
+		if !sums[s] {
+			return fmt.Errorf("%s: histogram %s has no _sum sample", src, s)
+		}
+	}
+	for s := range infBucket {
+		if _, ok := counts[s]; !ok {
+			return fmt.Errorf("%s: histogram %s has buckets but no _count sample", src, s)
+		}
+	}
+
+	total := 0
+	for _, n := range samples {
+		total += n
+	}
+	fmt.Printf("%s: ok — %d families, %d samples, %d histogram series\n",
+		src, len(types), total, len(counts))
+	return nil
+}
+
+// openMetrics reads the exposition from a URL or a file.
+func openMetrics(src string) (io.ReadCloser, error) {
+	if strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://") {
+		resp, err := http.Get(src)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			return nil, fmt.Errorf("%s: HTTP %s", src, resp.Status)
+		}
+		return resp.Body, nil
+	}
+	return os.Open(src)
+}
+
+// parseSample splits `name{labels} value` (labels optional).
+func parseSample(line string) (name, labels string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		j := strings.LastIndexByte(rest, '}')
+		if j < i {
+			return "", "", 0, fmt.Errorf("unbalanced label braces")
+		}
+		labels = rest[i+1 : j]
+		rest = strings.TrimSpace(rest[j+1:])
+	} else {
+		fields := strings.Fields(rest)
+		if len(fields) < 2 {
+			return "", "", 0, fmt.Errorf("sample without a value")
+		}
+		name = fields[0]
+		rest = fields[1]
+	}
+	if name == "" {
+		return "", "", 0, fmt.Errorf("sample without a name")
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 {
+		return "", "", 0, fmt.Errorf("sample without a value")
+	}
+	v, perr := strconv.ParseFloat(fields[0], 64)
+	if perr != nil {
+		return "", "", 0, fmt.Errorf("unparseable value %q", fields[0])
+	}
+	return name, labels, v, nil
+}
+
+// familyOf resolves a sample name to its declared family: exact match
+// (gauges) or a declared prefix plus a known suffix.
+func familyOf(name string, types map[string]string) (family, suffix string) {
+	if _, ok := types[name]; ok {
+		return name, ""
+	}
+	for _, suf := range []string{"_total", "_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			base := strings.TrimSuffix(name, suf)
+			if _, ok := types[base]; ok {
+				return base, suf
+			}
+		}
+	}
+	return "", ""
+}
+
+// stripLE removes the le pair from a label string, identifying the series
+// shared by a histogram's buckets, sum, and count.
+func stripLE(labels string) string {
+	var out []string
+	for _, part := range splitLabels(labels) {
+		if !strings.HasPrefix(part, "le=") {
+			out = append(out, part)
+		}
+	}
+	return strings.Join(out, ",")
+}
+
+// labelValue extracts one label's (unescaped-enough) value.
+func labelValue(labels, key string) (string, bool) {
+	for _, part := range splitLabels(labels) {
+		if v, ok := strings.CutPrefix(part, key+"="); ok {
+			return strings.Trim(v, `"`), true
+		}
+	}
+	return "", false
+}
+
+// splitLabels splits a label body on commas outside quotes.
+func splitLabels(labels string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(labels); i++ {
+		switch labels[i] {
+		case '\\':
+			i++
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, labels[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(labels) {
+		out = append(out, labels[start:])
+	}
+	return out
+}

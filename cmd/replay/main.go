@@ -24,8 +24,10 @@ import (
 	"math/bits"
 	"os"
 	"runtime"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/daemon"
 	"repro/internal/mpi"
 	"repro/internal/obs"
 	"repro/internal/rdma"
@@ -53,8 +55,24 @@ func main() {
 		ranks         = flag.Int("ranks", 0, "expected world size (0 = the trace's own rank count; a mismatch is an error)")
 		rank          = flag.Int("rank", -1, "this process's rank (set by the launcher; -1 = launch all ranks)")
 		coord         = flag.String("coord", "", "coordinator address for rank/address exchange (set by the launcher)")
+		daemonAddr    = flag.String("daemon", "", "submit the replay to a matchd control address instead of running locally")
+		tenantName    = flag.String("tenant", "replay", "tenant name for -daemon submissions")
 	)
 	flag.Parse()
+
+	// Daemon mode: hand the replay to a running matchd and wait. The
+	// daemon regenerates the synthetic trace itself, so only generator
+	// inputs travel (-dir traces cannot be submitted).
+	if *daemonAddr != "" {
+		if *dir != "" {
+			fatal(fmt.Errorf("-daemon replays synthetic traces only; -dir is local-mode"))
+		}
+		if err := replayViaDaemon(*daemonAddr, *tenantName, *appName, *engine,
+			*transport, *scale, *bins, *inflight); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	validTransport := map[string]bool{"inproc": true, "tcp": true, "udp": true, "shm": true, "hybrid": true}
 	reliableNet := map[string]bool{"tcp": true, "shm": true, "hybrid": true}
@@ -236,6 +254,45 @@ func main() {
 		}
 		fmt.Printf("wrote observability snapshot to %s\n", *statsJSON)
 	}
+}
+
+// replayViaDaemon submits one replay job to a matchd instance and waits
+// for its terminal status.
+func replayViaDaemon(addr, tenant, app, engine, transport string, scale, bins, inflight int) error {
+	if transport == "udp" {
+		return fmt.Errorf("-daemon hosts reliable transports only (inproc, tcp, shm, hybrid)")
+	}
+	gen, ok := tracegen.ByName(app)
+	if !ok {
+		return fmt.Errorf("unknown application %q", app)
+	}
+	ranks := gen.Generate(tracegen.Config{Scale: scale}).NumRanks()
+	if ranks > daemon.MaxRanks {
+		return fmt.Errorf("%s at scale %d needs %d ranks; the daemon hosts at most %d", app, scale, ranks, daemon.MaxRanks)
+	}
+	c, err := daemon.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	st, err := c.Submit(daemon.JobSpec{
+		Tenant: tenant, Workload: "replay", Engine: engine, Transport: transport,
+		Ranks: ranks, App: app, Scale: scale, Bins: bins, InFlight: inflight,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("submitted %s to %s (tenant %s, %d ranks)\n", st.ID, addr, tenant, ranks)
+	st, err = c.Wait(st.ID, 10*time.Minute)
+	if err != nil {
+		return err
+	}
+	if st.State != "done" {
+		return fmt.Errorf("job %s ended %s: %s", st.ID, st.State, st.Error)
+	}
+	fmt.Printf("replayed %s over %s via daemon: %d sends, matched %d (%d unexpected)\n",
+		app, transport, st.Messages, st.Matched, st.Unexpected)
+	return nil
 }
 
 func fatal(err error) {

@@ -159,16 +159,21 @@ func ringRank(p *mpi.Proc, cfg RingConfig) error {
 	reqs := make([]*mpi.Request, 0, 2*cfg.K)
 	for rep := 0; rep < cfg.Reps; rep++ {
 		reqs = reqs[:0]
+		// The token receive goes first: the matching engines pair by tag in
+		// any order, but the raw engine pairs arrivals with posts in FIFO
+		// order, and the successor's token is the one message every rank
+		// receives unconditionally — posted first it completes ready.Wait
+		// instead of consuming a data post and deadlocking the ring.
+		ready, err := c.Irecv(next, ringReadyTag, token[:])
+		if err != nil {
+			return err
+		}
 		for i := 0; i < cfg.K; i++ {
 			req, err := c.Irecv(prev, i, bufs[i])
 			if err != nil {
 				return err
 			}
 			reqs = append(reqs, req)
-		}
-		ready, err := c.Irecv(next, ringReadyTag, token[:])
-		if err != nil {
-			return err
 		}
 		if err := c.Send(prev, ringReadyTag, nil); err != nil {
 			return err

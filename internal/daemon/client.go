@@ -1,0 +1,131 @@
+package daemon
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+)
+
+// RemoteError is a typed rejection from the daemon, carrying the
+// protocol's error code.
+type RemoteError struct {
+	Code string
+	Msg  string
+}
+
+func (e *RemoteError) Error() string { return fmt.Sprintf("%s: %s", e.Code, e.Msg) }
+
+// Client speaks the JSON-lines control protocol. One request is in flight
+// at a time (the protocol is strictly request/reply per line); methods are
+// serialized by an internal lock, so a Client may be shared.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+	enc  *json.Encoder
+}
+
+// Dial connects to a daemon's control address.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, r: bufio.NewReaderSize(conn, 64<<10), enc: json.NewEncoder(conn)}, nil
+}
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) do(req Request) (*Response, error) {
+	if err := c.enc.Encode(&req); err != nil {
+		return nil, err
+	}
+	line, err := c.r.ReadBytes('\n')
+	if err != nil {
+		return nil, fmt.Errorf("daemon connection: %w", err)
+	}
+	var resp Response
+	if err := json.Unmarshal(line, &resp); err != nil {
+		return nil, fmt.Errorf("malformed daemon reply: %v", err)
+	}
+	if !resp.OK {
+		code := resp.Code
+		if code == "" {
+			code = CodeInternal
+		}
+		return nil, &RemoteError{Code: code, Msg: resp.Error}
+	}
+	return &resp, nil
+}
+
+// Ping round-trips a no-op request.
+func (c *Client) Ping() error {
+	_, err := c.do(Request{Op: OpPing})
+	return err
+}
+
+// Submit submits one job and returns its initial status.
+func (c *Client) Submit(spec JobSpec) (*JobStatus, error) {
+	resp, err := c.do(Request{Op: OpSubmit, Job: &spec})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Job == nil {
+		return nil, fmt.Errorf("daemon reply missing job status")
+	}
+	return resp.Job, nil
+}
+
+// Status fetches one job's state.
+func (c *Client) Status(id string) (*JobStatus, error) {
+	resp, err := c.do(Request{Op: OpStatus, ID: id})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Job == nil {
+		return nil, fmt.Errorf("daemon reply missing job status")
+	}
+	return resp.Job, nil
+}
+
+// Cancel requests a job's cancellation and returns its status.
+func (c *Client) Cancel(id string) (*JobStatus, error) {
+	resp, err := c.do(Request{Op: OpCancel, ID: id})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Job == nil {
+		return nil, fmt.Errorf("daemon reply missing job status")
+	}
+	return resp.Job, nil
+}
+
+// List fetches every job's status.
+func (c *Client) List() ([]JobStatus, error) {
+	resp, err := c.do(Request{Op: OpList})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Jobs, nil
+}
+
+// Wait polls until the job reaches a terminal state or the timeout
+// expires (timeout <= 0 waits forever).
+func (c *Client) Wait(id string, timeout time.Duration) (*JobStatus, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		st, err := c.Status(id)
+		if err != nil {
+			return nil, err
+		}
+		if st.Terminal() {
+			return st, nil
+		}
+		if timeout > 0 && time.Now().After(deadline) {
+			return st, fmt.Errorf("job %s still %s after %v", id, st.State, timeout)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -1,0 +1,212 @@
+package daemon
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestDaemonSoakChurn runs the daemon for ~60 seconds of tenant churn — a
+// pool of short-lived tenants joining and leaving with occasional cancels
+// while one steady tenant streams jobs back-to-back — then drains and pins
+// the quiesce invariants: every job terminal, none failed, every tenant's
+// counter ledger balanced (admitted = completed + failed + canceled), all
+// budget charges returned, and the goroutine census back at its pre-daemon
+// baseline. Gated behind -short because it is wall-clock bound by design.
+func TestDaemonSoakChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test is wall-clock bound; skipped in -short mode")
+	}
+	before := runtime.NumGoroutine()
+
+	d := New(Config{Budgets: Budgets{TenantJobs: 2}, Logf: func(string, ...any) {}})
+	const (
+		soakFor      = 60 * time.Second
+		churnWorkers = 4
+	)
+	churnTenants := []string{"ten-a", "ten-b", "ten-c", "ten-d", "ten-e", "ten-f"}
+	engines := []string{"host", "offload", "raw"}
+
+	var submitted, rejected, canceled atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// submitOne shapes, submits, and settles one churn job. Admission
+	// rejections are an expected soak outcome (the job cap is deliberately
+	// tight); anything else unexpected is fatal via the returned error.
+	submitOne := func(worker, iter int) error {
+		spec := JobSpec{
+			Tenant: churnTenants[(worker+iter)%len(churnTenants)],
+			Engine: engines[iter%len(engines)],
+			Ranks:  2 + iter%2*2, // 2 or 4
+			K:      4 << (iter % 3),
+			Reps:   2 + iter%3,
+		}
+		// Every 7th job crosses a socket transport to keep the teardown
+		// paths for out-of-process worlds in the churn.
+		switch {
+		case iter%21 == 7:
+			spec.Transport = "tcp"
+		case iter%21 == 14:
+			spec.Transport = "shm"
+		}
+		cancelIt := iter%5 == 4
+		if cancelIt {
+			spec.Reps = MaxReps // long enough that the cancel races a live run
+		}
+		st, err := d.Submit(spec)
+		if err != nil {
+			if _, ok := err.(*AdmissionError); ok {
+				rejected.Add(1)
+				return nil
+			}
+			return fmt.Errorf("submit: %w", err)
+		}
+		submitted.Add(1)
+		if cancelIt {
+			time.Sleep(time.Millisecond)
+			if _, err := d.Cancel(st.ID); err != nil {
+				return fmt.Errorf("cancel %s: %w", st.ID, err)
+			}
+			canceled.Add(1)
+		}
+		fin, err := d.WaitJob(st.ID)
+		if err != nil {
+			return fmt.Errorf("wait %s: %w", st.ID, err)
+		}
+		if fin.State == "failed" {
+			return fmt.Errorf("job %s (%s/%s/%s) failed: %s",
+				st.ID, spec.Tenant, spec.Engine, spec.Transport, fin.Error)
+		}
+		return nil
+	}
+
+	errCh := make(chan error, churnWorkers+1)
+	for w := 0; w < churnWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for iter := 0; ; iter++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := submitOne(w, iter); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	// The steady tenant streams identical jobs back-to-back for the whole
+	// window — the long-lived service workload the churn swirls around.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			st, err := d.Submit(JobSpec{Tenant: "steady", Engine: "offload", Ranks: 2, K: 8, Reps: 3})
+			if err != nil {
+				if _, ok := err.(*AdmissionError); ok {
+					rejected.Add(1)
+					continue
+				}
+				errCh <- fmt.Errorf("steady submit: %w", err)
+				return
+			}
+			submitted.Add(1)
+			if fin, werr := d.WaitJob(st.ID); werr != nil || fin.State != "done" {
+				errCh <- fmt.Errorf("steady job %s: state %s, err %v", st.ID, fin.State, werr)
+				return
+			}
+		}
+	}()
+
+	time.Sleep(soakFor)
+	close(stop)
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	t.Logf("soak: %d submitted, %d rejected, %d canceled over %v",
+		submitted.Load(), rejected.Load(), canceled.Load(), soakFor)
+	if submitted.Load() < 100 {
+		t.Errorf("soak churn only completed %d jobs in %v; expected real throughput", submitted.Load(), soakFor)
+	}
+
+	if forced, err := d.Drain(); err != nil || forced != 0 {
+		t.Fatalf("Drain after quiesce = (%d, %v), want (0, nil)", forced, err)
+	}
+
+	// Quiesce invariants: every job terminal and none failed...
+	var doneN, canceledN int
+	for _, st := range d.List() {
+		switch st.State {
+		case "done":
+			doneN++
+		case "canceled":
+			canceledN++
+		default:
+			t.Errorf("job %s not terminal at quiesce: %s (%s)", st.ID, st.State, st.Error)
+		}
+	}
+	if doneN+canceledN != int(submitted.Load()) {
+		t.Errorf("terminal jobs %d+%d != %d submitted", doneN, canceledN, submitted.Load())
+	}
+	// ...every tenant's counter ledger balanced with zero retained charges...
+	d.mu.Lock()
+	var admitted, completed, failed, canceledCtr uint64
+	for name, ten := range d.tenants {
+		a := ten.sink.Counters.Load(obs.CtrDaemonAdmitted)
+		c := ten.sink.Counters.Load(obs.CtrDaemonCompleted)
+		f := ten.sink.Counters.Load(obs.CtrDaemonFailed)
+		x := ten.sink.Counters.Load(obs.CtrDaemonCanceled)
+		if a != c+f+x {
+			t.Errorf("tenant %s ledger: admitted %d != completed %d + failed %d + canceled %d", name, a, c, f, x)
+		}
+		if f != 0 {
+			t.Errorf("tenant %s recorded %d failed jobs", name, f)
+		}
+		if ten.active != 0 || ten.threadsUsed != 0 || ten.bytesUsed != 0 {
+			t.Errorf("tenant %s retains charges at quiesce: active=%d threads=%d bytes=%d",
+				name, ten.active, ten.threadsUsed, ten.bytesUsed)
+		}
+		admitted += a
+		completed += c
+		failed += f
+		canceledCtr += x
+	}
+	d.mu.Unlock()
+	if admitted != uint64(submitted.Load()) {
+		t.Errorf("admitted counters sum to %d, %d jobs were accepted", admitted, submitted.Load())
+	}
+	if completed+failed+canceledCtr != admitted {
+		t.Errorf("global ledger: %d+%d+%d != %d admitted", completed, failed, canceledCtr, admitted)
+	}
+
+	// ...and no goroutine survived the churn.
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<21)
+			t.Fatalf("goroutines: %d before soak, %d at quiesce\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}

@@ -33,7 +33,7 @@ func newCoalesceWorld(t *testing.T, n int, kind EngineKind, plan rdma.FaultPlan)
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(w.Close)
+	t.Cleanup(func() { w.Close() })
 	return w
 }
 
@@ -161,7 +161,7 @@ func TestCoalesceAcrossDepths(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			t.Cleanup(w.Close)
+			t.Cleanup(func() { w.Close() })
 			out := runPairWorkload(t, w, k)
 			verifyWorkload(t, out, k)
 			if golden == nil {

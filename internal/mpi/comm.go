@@ -104,6 +104,9 @@ func (p *Proc) checkPeer(rank int) error {
 
 // isend implements the send side of §IV-B.
 func (p *Proc) isend(dst, tag int, comm match.CommID, data []byte) (*Request, error) {
+	if p.w.Closed() {
+		return nil, ErrClosed
+	}
 	req := newRequest(p)
 	hashes := match.InlineHashes{
 		SrcTag: match.HashSrcTag(match.Rank(p.rank), match.Tag(tag), comm),
@@ -178,6 +181,9 @@ func (p *Proc) isend(dst, tag int, comm match.CommID, data []byte) (*Request, er
 // irecv posts a receive to the engine. The Recv record comes from the
 // world's pool; whichever path delivers the match recycles it.
 func (p *Proc) irecv(src, tag int, comm match.CommID, buf []byte) (*Request, error) {
+	if p.w.Closed() {
+		return nil, ErrClosed
+	}
 	req := newRequest(p)
 	r := p.w.recvs.Get().(*match.Recv)
 	*r = match.Recv{

@@ -44,7 +44,7 @@ func newFaultWorld(t *testing.T, n int, kind EngineKind, plan rdma.FaultPlan) *W
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(w.Close)
+	t.Cleanup(func() { w.Close() })
 	return w
 }
 

@@ -25,7 +25,7 @@ func infoWorld(t *testing.T, info map[int32]CommInfo, mutate func(*Options)) *Wo
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(w.Close)
+	t.Cleanup(func() { w.Close() })
 	return w
 }
 

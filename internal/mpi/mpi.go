@@ -179,6 +179,13 @@ func (o *Options) frameCap() int {
 // ErrTruncated is reported when a message is longer than the posted buffer.
 var ErrTruncated = errors.New("mpi: message truncated (buffer too small)")
 
+// ErrClosed is reported by operations on a closed World: a second Close, a
+// Send/Isend/Recv/Irecv issued after Close, and any Wait still blocked when
+// Close runs. Long-lived hosts (cmd/matchd) lean on this contract — a
+// tenant job torn down mid-flight must observe a typed error, never a hang
+// or a panic, and tearing the same world down twice must be harmless.
+var ErrClosed = errors.New("mpi: world closed")
+
 // World is a set of communicating ranks. NewWorld builds the classic
 // in-process world: every rank lives in this process, fully connected by
 // fabric QPs. NewNetWorld builds an out-of-process world: this process
@@ -195,6 +202,12 @@ type World struct {
 
 	procs []*Proc
 
+	// recvEPs holds the receive side of every in-process QP pair. Each end
+	// of a pair runs its own delivery goroutine and only stops on its own
+	// Close, so teardown must close both: the send ends via proc.sendEP and
+	// these.
+	recvEPs []*rdma.QP
+
 	// envPool recycles matching envelopes across all ranks' arrival paths;
 	// slab recycles every variable-length scratch buffer — eager/frame wire
 	// staging, stabilized unexpected payloads, reliability retransmit
@@ -206,6 +219,11 @@ type World struct {
 	recvs sync.Pool
 
 	closeOnce sync.Once
+	// closed is closed at the top of Close, before teardown begins: new
+	// operations observe it and return ErrClosed, and blocked Request.Wait
+	// calls unblock through it instead of hanging on a request that will
+	// never complete.
+	closed chan struct{}
 }
 
 // NewWorld creates n fully connected ranks.
@@ -214,7 +232,7 @@ func NewWorld(n int, opts Options) (*World, error) {
 		return nil, fmt.Errorf("mpi: world size must be >= 1, got %d", n)
 	}
 	opts.fill()
-	w := &World{opts: opts, n: n, fabric: rdma.NewFabric()}
+	w := &World{opts: opts, n: n, fabric: rdma.NewFabric(), closed: make(chan struct{})}
 	w.fabric.SetObs(obs.New(opts.Obs)) // before ConnectPair: injectors capture the sink
 	w.fabric.SetFaults(opts.Faults)    // before ConnectPair: QPs inherit injectors
 	w.recvs.New = func() any { return new(match.Recv) }
@@ -233,11 +251,12 @@ func NewWorld(n int, opts Options) (*World, error) {
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			src, dst := w.procs[i], w.procs[j]
-			sendEnd, _ := w.fabric.ConnectPair(
+			sendEnd, recvEnd := w.fabric.ConnectPair(
 				rdma.QPConfig{Depth: opts.RecvDepth},
 				rdma.QPConfig{RecvCQ: dst.rawCQ, RQ: dst.srq, Depth: opts.RecvDepth},
 			)
 			src.sendEP[j] = sendEnd
+			w.recvEPs = append(w.recvEPs, recvEnd)
 		}
 	}
 	for _, p := range w.procs {
@@ -317,10 +336,31 @@ func (w *World) fabricSink() *obs.Sink {
 	return w.fabric.Obs()
 }
 
+// Closed reports whether Close has begun. Operations issued afterwards
+// return ErrClosed.
+func (w *World) Closed() bool {
+	select {
+	case <-w.closed:
+		return true
+	default:
+		return false
+	}
+}
+
+// Done returns a channel closed when the world starts tearing down, for
+// select-based waiters that must not outlive the world.
+func (w *World) Done() <-chan struct{} { return w.closed }
+
 // Close tears the world down. Call only after all outstanding traffic has
-// completed (e.g. after Waitall/Barrier).
-func (w *World) Close() {
+// completed (e.g. after Waitall/Barrier). The first call returns nil; every
+// later call is a no-op returning ErrClosed. Requests still blocked in Wait
+// when Close runs unblock with ErrClosed rather than hanging — the world
+// will never complete them.
+func (w *World) Close() error {
+	err := ErrClosed
 	w.closeOnce.Do(func() {
+		err = nil
+		close(w.closed)
 		// Drain the coalescers first (stopping their staleness timers):
 		// every buffered eager frame must reach the wire before the QPs
 		// close under it.
@@ -346,6 +386,11 @@ func (w *World) Close() {
 				ep.Close()
 			}
 		}
+		// The receive side of each in-process pair runs its own delivery
+		// goroutine; close it too or every world leaks n² of them.
+		for _, ep := range w.recvEPs {
+			ep.Close()
+		}
 		// Stop the reliability filters before the engines: each filter
 		// feeds its engine's CQ and must drain before that CQ closes.
 		for _, p := range w.procs {
@@ -363,6 +408,7 @@ func (w *World) Close() {
 			_ = w.trans.Close()
 		}
 	})
+	return err
 }
 
 // FaultStats returns the dataplane's injected-fault counters.

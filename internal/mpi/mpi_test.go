@@ -25,7 +25,7 @@ func newTestWorld(t *testing.T, n int, kind EngineKind) *World {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(w.Close)
+	t.Cleanup(func() { w.Close() })
 	return w
 }
 

@@ -32,7 +32,7 @@ func NewNetWorld(t rdma.Transport, opts Options) (*World, error) {
 		return nil, fmt.Errorf("mpi: transport rank %d of %d out of range", rank, n)
 	}
 	opts.fill()
-	w := &World{opts: opts, n: n, trans: t}
+	w := &World{opts: opts, n: n, trans: t, closed: make(chan struct{})}
 	w.recvs.New = func() any { return new(match.Recv) }
 
 	p, err := newProc(w, rank, n)

@@ -52,6 +52,10 @@ func (r *Request) complete(st Status, err error) {
 // coalescer are flushed, so a peer blocked on this rank's sends always
 // makes progress (and a pending receive here cannot deadlock on our own
 // unflushed traffic the peer is waiting for).
+//
+// A Wait still pending when the world closes returns ErrClosed: a closed
+// world will never complete the request, and a long-lived host canceling a
+// job must be able to unblock its workers by closing their world.
 func (r *Request) Wait() (Status, error) {
 	if r.p != nil {
 		r.p.flushCoalesced()
@@ -69,7 +73,19 @@ func (r *Request) Wait() (Status, error) {
 	}
 	ch := r.done
 	r.mu.Unlock()
-	<-ch
+	var closed <-chan struct{}
+	if r.p != nil {
+		closed = r.p.w.closed
+	}
+	select {
+	case <-ch:
+	case <-closed:
+		// The world is tearing down. The completion may still have raced
+		// ahead of the close; prefer it when it did.
+		if r.state.Load() != 1 {
+			return Status{}, ErrClosed
+		}
+	}
 	return r.status, r.err
 }
 

@@ -187,6 +187,35 @@ const (
 	// from a shared arena (no READ RPC).
 	CtrShmReads
 
+	// Daemon counters (internal/daemon): the matchd control plane. They
+	// live in the server's own sink (exported with component="daemon") and,
+	// for per-job quantities, in each job's daemon-domain sink (exported
+	// with per-tenant labels).
+
+	// CtrDaemonSubmitted counts control-protocol job submissions received.
+	CtrDaemonSubmitted
+	// CtrDaemonAdmitted counts jobs admitted by the budget ledger.
+	CtrDaemonAdmitted
+	// CtrDaemonRejected counts submissions rejected (over budget, draining,
+	// invalid spec, duplicate ID).
+	CtrDaemonRejected
+	// CtrDaemonCompleted counts jobs that finished successfully.
+	CtrDaemonCompleted
+	// CtrDaemonFailed counts jobs that finished with an error.
+	CtrDaemonFailed
+	// CtrDaemonCanceled counts jobs canceled by the control protocol or by
+	// a forced shutdown.
+	CtrDaemonCanceled
+	// CtrDaemonBackpressure counts posted-receive pacing stalls: windows a
+	// job had to split its receive burst into because the per-communicator
+	// posted-depth bound was smaller than the burst.
+	CtrDaemonBackpressure
+	// CtrDaemonReloads counts hot config reloads applied (SIGHUP).
+	CtrDaemonReloads
+	// CtrDaemonBadRequests counts control-protocol lines answered with a
+	// typed error reply.
+	CtrDaemonBadRequests
+
 	// NumCounters bounds the enum; it must stay last.
 	NumCounters
 )
@@ -256,6 +285,15 @@ var counterNames = [NumCounters]string{
 	CtrShmParks:             "shm_parks",
 	CtrShmRingFull:          "shm_ring_full",
 	CtrShmReads:             "shm_reads",
+	CtrDaemonSubmitted:      "daemon_submitted",
+	CtrDaemonAdmitted:       "daemon_admitted",
+	CtrDaemonRejected:       "daemon_rejected",
+	CtrDaemonCompleted:      "daemon_completed",
+	CtrDaemonFailed:         "daemon_failed",
+	CtrDaemonCanceled:       "daemon_canceled",
+	CtrDaemonBackpressure:   "daemon_backpressure_waits",
+	CtrDaemonReloads:        "daemon_reloads",
+	CtrDaemonBadRequests:    "daemon_bad_requests",
 }
 
 // String returns the counter's stable snapshot key.
